@@ -1,0 +1,92 @@
+"""Ablation A2 (§5.3): even/odd-paired transform simplification.
+
+Two views:
+
+* arithmetic: multiplication counts of ``D^T x`` / ``G w`` / ``A^T m``
+  evaluated densely vs with the pairing (the paper: "reducing the number of
+  necessary multiplications by nearly half");
+* modeled end-to-end effect: the Figure-8 perf model with paired vs dense
+  transform op-factors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import banner, table
+from repro.core.simplify import pairwise_transform, transform_mul_counts
+from repro.core.transforms import winograd_matrices
+from repro.gpusim import RTX3060TI, estimate_conv
+from repro.nhwc import ConvShape
+
+SCHEMES = [(6, 3), (4, 5), (2, 7), (10, 7), (9, 8), (8, 9)]
+
+
+def render_mul_counts() -> tuple[str, list[float]]:
+    rows, savings = [], []
+    for n, r in SCHEMES:
+        m = winograd_matrices(n, r, dtype="float64")
+        c_dt = transform_mul_counts(m.DT)
+        c_g = transform_mul_counts(m.G)
+        c_at = transform_mul_counts(np.ascontiguousarray(m.AT.T))
+        total_dense = c_dt["dense"] + c_g["dense"] + c_at["dense"]
+        total_paired = c_dt["paired"] + c_g["paired"] + c_at["paired"]
+        savings.append(1 - total_paired / total_dense)
+        rows.append(
+            [
+                f"F({n},{r})",
+                c_dt["dense"],
+                c_dt["paired"],
+                c_g["dense"],
+                c_g["paired"],
+                f"{1 - total_paired / total_dense:.1%}",
+            ]
+        )
+    head = banner(
+        "Ablation A2 — §5.3 simplified transforms",
+        "multiplications per transform, dense mat-vec vs even/odd pairing",
+    )
+    body = table(
+        ["scheme", "D^T dense", "D^T paired", "G dense", "G paired", "total saved"], rows
+    )
+    return head + "\n" + body, savings
+
+
+def render_model_effect() -> tuple[str, list[float]]:
+    rows, gains = [], []
+    for r, alpha in [(3, 8), (5, 8), (9, 16)]:
+        shape = ConvShape.from_ofm(128, 48, 48, 128, r=r)
+        paired = estimate_conv(shape, RTX3060TI, alpha=alpha, paired_transforms=True).gflops
+        dense = estimate_conv(shape, RTX3060TI, alpha=alpha, paired_transforms=False).gflops
+        gains.append(paired / dense)
+        rows.append([f"Gamma_{alpha}(.,{r})", f"{dense:,.0f}", f"{paired:,.0f}",
+                     f"{paired / dense:.3f}x"])
+    head = "\nModeled Gflop/s with dense vs paired transforms (RTX3060Ti, 128x48x48x128):"
+    body = table(["kernel", "dense", "paired", "gain"], rows)
+    return head + "\n" + body, gains
+
+
+def test_ablation_simplify(benchmark, artifact):
+    (text1, savings), (text2, gains) = benchmark(
+        lambda: (render_mul_counts(), render_model_effect())
+    )
+    artifact("ablation_a2_simplify", text1 + "\n" + text2)
+    # "nearly half": every scheme saves at least 35% of transform muls.
+    assert all(s > 0.35 for s in savings)
+    # The modeled gain grows with alpha (transform share grows with alpha).
+    assert gains[-1] > gains[0] > 1.0
+
+
+def test_pairwise_numerics_identical():
+    """The simplification is a pure re-association: bitwise-equal in fp64
+    within reassociation tolerance."""
+    rng = np.random.default_rng(0)
+    m = winograd_matrices(8, 9, dtype="float64")
+    x = rng.standard_normal((16, 5))
+    np.testing.assert_allclose(pairwise_transform(m.DT, x), m.DT @ x, rtol=1e-12)
+
+
+if __name__ == "__main__":
+    print(render_mul_counts()[0])
+    print(render_model_effect()[0])

@@ -1,0 +1,93 @@
+"""Ablation A3 (§5.4/§5.6): ruse and c64 variants vs base kernels.
+
+Reports, per kernel: arithmetic intensity (the paper's op/byte numbers),
+per-tile load cost, occupancy, and modeled Gflop/s across a small/large
+channel sweep — the structure claimed in §6.1.2: "Both Gamma^c64 and
+Gamma^ruse show enhanced performance over Gamma; the enhancement of c64 is
+positively correlated to r, while ruse shows greater enhancement as the
+(r-1)/alpha overlap increases", with extra robustness at large channels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import banner, table
+from repro.core.kernels import get_kernel
+from repro.core.variants import arithmetic_intensity, input_items_per_tile, ruse_profitable
+from repro.gpusim import RTX3060TI, estimate_conv, grid_for
+from repro.nhwc import ConvShape
+
+CASES = [
+    (8, 5, ("base", "ruse")),
+    (8, 6, ("base", "ruse")),
+    (8, 7, ("base", "ruse")),
+    (16, 8, ("base", "ruse", "c64")),
+    (16, 9, ("base", "ruse", "c64")),
+    (16, 7, ("base", "c64")),
+]
+
+
+def render() -> tuple[str, dict]:
+    rows = []
+    perf: dict[tuple[int, int, str], float] = {}
+    for alpha, r, variants in CASES:
+        n = alpha - r + 1
+        # shape with OW divisible by n and channels multiple of 64
+        ow = n * max(4, 32 // n)
+        shape = ConvShape.from_ofm(64, ow, ow, 256, r=r)
+        for variant in variants:
+            k = get_kernel(alpha, r, variant)
+            spec = k.spec
+            grid = grid_for(shape, spec, RTX3060TI, ow_segment=ow - ow % spec.coverage)
+            g = estimate_conv(shape, RTX3060TI, alpha=alpha, variant=variant).gflops
+            perf[(alpha, r, variant)] = g
+            rows.append(
+                [
+                    k.name,
+                    f"{arithmetic_intensity(alpha, n, r, variant):.2f}",
+                    f"{input_items_per_tile(alpha, r, variant):.1f}",
+                    spec.threads,
+                    grid.occupancy.active_warps,
+                    f"{g:,.0f}",
+                ]
+            )
+    head = banner(
+        "Ablation A3 — ruse (§5.4) and c64 (§5.6) variants",
+        "RTX3060Ti model, 64 x (n-aligned) x 256 ofms",
+    )
+    body = table(
+        ["kernel", "op/byte", "items/tile", "threads", "warps/SM", "modeled Gflop/s"],
+        rows,
+    )
+    return head + "\n" + body, perf
+
+
+def test_ablation_variants(benchmark, artifact):
+    text, perf = benchmark(render)
+    artifact("ablation_a3_variants", text)
+    # c64 strictly enhances base for alpha=16 (§5.6).
+    for r in (7, 8, 9):
+        assert perf[(16, r, "c64")] > perf[(16, r, "base")]
+    # ruse never falls below base where the paper ships it (§5.4 threshold).
+    for alpha, r, variants in CASES:
+        if "ruse" in variants:
+            assert ruse_profitable(alpha, r)
+            assert perf[(alpha, r, "ruse")] >= 0.99 * perf[(alpha, r, "base")]
+
+
+def test_c64_enhancement_grows_with_r():
+    """§6.1.2: 'The enhancement of Gamma^c64 is positively correlated to r'."""
+    gains = []
+    for r in (7, 8, 9):
+        n = 17 - r
+        ow = n * max(4, 32 // n)
+        shape = ConvShape.from_ofm(64, ow, ow, 256, r=r)
+        base = estimate_conv(shape, RTX3060TI, alpha=16, variant="base").gflops
+        c64 = estimate_conv(shape, RTX3060TI, alpha=16, variant="c64").gflops
+        gains.append(c64 / base)
+    assert gains[2] > gains[0]
+
+
+if __name__ == "__main__":
+    print(render()[0])

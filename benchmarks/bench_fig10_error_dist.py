@@ -1,0 +1,86 @@
+"""Figure 10: the distribution of relative error.
+
+For Gamma_16(8,9) and Gamma_16(10,7) vs the CuGEMM stand-in, the histogram
+of per-element relative error against the FP64 truth — the paper's claim:
+the Gamma_16 distribution sits closer to zero with a smaller average, while
+its (rare) maximum error is larger.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import bench_scale
+from repro.baselines import conv2d_direct, conv2d_gemm
+from repro.bench import FIG10_CONFIGS, TABLE3_SHAPES, banner, table
+from repro.core import conv2d_im2col_winograd
+from repro.nhwc import ConvShape
+
+BINS = 12
+
+
+def error_samples(kernel: str) -> tuple[np.ndarray, np.ndarray]:
+    """Per-element relative errors (gamma, gemm) pooled over the kernel's
+    Table 3 shapes (batch scaled)."""
+    alpha, r, ofms = TABLE3_SHAPES[kernel]
+    rng = np.random.default_rng(7)
+    g_all, m_all = [], []
+    for (n, oh, ow, oc) in ofms[:2]:  # the two largest-map shapes suffice
+        batch = n if bench_scale() == "full" else max(2, n // 32)
+        oc_run = oc if bench_scale() == "full" else min(oc, 8)
+        shape = ConvShape.from_ofm(batch, oh, ow, oc_run, r=r, ic=oc)
+        x = rng.uniform(1, 2, shape.input_shape).astype(np.float32)
+        w = rng.uniform(1, 2, shape.filter_shape).astype(np.float32)
+        truth = conv2d_direct(x, w, ph=shape.ph, pw=shape.pw, dtype=np.float64)
+        gamma = conv2d_im2col_winograd(x, w, alpha=alpha)
+        gemm = conv2d_gemm(x, w, ph=shape.ph, pw=shape.pw, accumulation="sequential")
+        g_all.append((np.abs(gamma - truth) / np.abs(truth)).ravel())
+        m_all.append((np.abs(gemm - truth) / np.abs(truth)).ravel())
+    return np.concatenate(g_all), np.concatenate(m_all)
+
+
+def render_histogram(kernel: str) -> tuple[str, np.ndarray, np.ndarray]:
+    g, m = error_samples(kernel)
+    hi = float(np.percentile(np.concatenate([g, m]), 99.5))
+    edges = np.linspace(0, hi, BINS + 1)
+    gh = np.histogram(g, bins=edges)[0] / g.size * 100
+    mh = np.histogram(m, bins=edges)[0] / m.size * 100
+    rows = []
+    for i in range(BINS):
+        rows.append(
+            [
+                f"{edges[i]:.1E}-{edges[i+1]:.1E}",
+                f"{gh[i]:6.2f}%",
+                f"{mh[i]:6.2f}%",
+                "#" * int(round(gh[i] / 3)),
+            ]
+        )
+    head = banner(
+        f"Figure 10 — relative-error distribution, {kernel} vs CuGEMM",
+        f"mean: gamma={g.mean():.2E} gemm={m.mean():.2E}; "
+        f"max: gamma={g.max():.2E} gemm={m.max():.2E}",
+    )
+    body = table(["rel. error bin", kernel, "CuGEMM", "gamma hist"], rows)
+    return head + "\n" + body, g, m
+
+
+@pytest.mark.parametrize("kernel", FIG10_CONFIGS)
+def test_fig10_distribution(benchmark, artifact, kernel):
+    text, g, m = benchmark.pedantic(render_histogram, args=(kernel,), iterations=1, rounds=1)
+    artifact(f"fig10_{kernel.replace('(', '_').replace(',', '_').replace(')', '')}", text)
+    # What reproduces (see EXPERIMENTS.md): Gamma_16's error mass sits at the
+    # 1e-5 scale with a long thin tail ("the proportion of such large values
+    # is negligible"); the paper's mean ordering vs CuGEMM depends on cuDNN
+    # rounding behaviour our RN-chain stand-in does not exhibit.
+    assert g.max() > m.max()
+    # "the proportion of such large values is negligible": errors an order
+    # of magnitude above the mean are < 2% of elements.
+    tail = float((g > 10 * g.mean()).mean())
+    assert tail < 0.02
+
+
+if __name__ == "__main__":
+    for kernel in FIG10_CONFIGS:
+        print(render_histogram(kernel)[0])
+        print()

@@ -1,0 +1,101 @@
+"""Figures 11 & 12: training loss curves, Alpha vs PyTorch stand-in.
+
+The paper's claim is visual: the two frameworks' loss curves coincide on
+both datasets, i.e. Im2col-Winograd "does not visibly affect the
+convergence" (§6.3.2).  We train the same model twice — identical data,
+initialisation and optimiser, only the convolution engine differs — record
+the loss every 10 steps (Fig 12 protocol) and, for the ILSVRC-like run,
+smooth with the non-overlapping window of 10 (Fig 11 protocol).  The bench
+prints both curves as aligned sparklines and asserts pointwise closeness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import bench_scale
+from repro.bench import banner, series_line, table
+from repro.dlframe import Adam, SGDM, Trainer, synthetic_cifar10, synthetic_ilsvrc
+from repro.dlframe.models import resnet18, vgg16, vgg16x5
+from repro.dlframe.trainer import smooth_losses
+
+#: (figure, sub-config label, model factory, optimizer, dataset)
+CONFIGS = [
+    ("fig12", "ResNet18+Adam (Cifar10)", resnet18, Adam, "cifar"),
+    ("fig12", "VGG16+SGDM (Cifar10)", vgg16, SGDM, "cifar"),
+    ("fig12", "VGG16x5+Adam (Cifar10)", vgg16x5, Adam, "cifar"),
+    ("fig11", "ResNet18+Adam (ILSVRC)", resnet18, Adam, "ilsvrc"),
+    ("fig11", "VGG16+Adam (ILSVRC)", vgg16, Adam, "ilsvrc"),
+]
+
+
+def run_pair(label: str, make_model, make_opt, dataset: str):
+    full = bench_scale() == "full"
+    if dataset == "cifar":
+        image = 32 if full else 12
+        train, _ = synthetic_cifar10(train=2048 if full else 240, test=8, image=image, noise=0.25)
+        classes = 10
+    else:
+        image = 64 if full else 16
+        classes = 100 if full else 8
+        train, _ = synthetic_ilsvrc(
+            train=1024 if full else 240, test=8, image=image, classes=classes, noise=0.25
+        )
+    width = 0.5 if full else 0.125
+    epochs = 6 if full else (8 if dataset == "ilsvrc" else 4)
+    batch = 48 if dataset == "cifar" else 24
+    curves = {}
+    for engine in ("winograd", "gemm"):
+        kwargs = dict(classes=classes, width_mult=width, engine=engine, seed=13)
+        if make_model is not resnet18:
+            kwargs["image"] = image
+        model = make_model(**kwargs)
+        trainer = Trainer(model, make_opt(model.parameters(), lr=1e-3), record_every=1)
+        rec = trainer.fit(train, epochs=epochs, batch_size=batch, seed=21)
+        curves[engine] = rec.losses
+    return curves
+
+
+def render(label: str, curves) -> str:
+    a = curves["winograd"]
+    p = curves["gemm"]
+    if "ILSVRC" in label:  # Fig 11 smoothing protocol
+        a = smooth_losses(a, 10)
+        p = smooth_losses(p, 10)
+    gap = float(np.max(np.abs(np.array(a) - np.array(p))))
+    lines = [
+        banner(f"Loss curves — {label}", f"max |Alpha - PyTorch| = {gap:.4f}"),
+        series_line("Alpha", a, width=10),
+        series_line("PyTorch", p, width=10),
+    ]
+    ticks = sorted({0, len(a) // 2, len(a) - 1})
+    lines.append(
+        table(
+            ["step idx", "Alpha loss", "PyTorch loss"],
+            [[t, f"{a[t]:.4f}", f"{p[t]:.4f}"] for t in ticks],
+        )
+    )
+    return "\n".join(lines), a, p
+
+
+@pytest.mark.parametrize("fig,label,make_model,make_opt,dataset", CONFIGS)
+def test_loss_curves(benchmark, artifact, fig, label, make_model, make_opt, dataset):
+    curves = benchmark.pedantic(
+        run_pair, args=(label, make_model, make_opt, dataset), iterations=1, rounds=1
+    )
+    text, a, p = render(label, curves)
+    slug = label.split(" ")[0].lower().replace("+", "_")
+    artifact(f"{fig}_{slug}_{dataset}", text)
+    a, p = np.array(a), np.array(p)
+    # The convergence-parity claim: curves coincide within FP32 divergence
+    # noise and both actually descend.
+    assert a[-1] < a[0] and p[-1] < p[0]
+    scale = max(1e-3, float(np.abs(p).mean()))
+    assert float(np.abs(a - p).max()) < 0.25 * max(1.0, scale) + 0.15
+
+
+if __name__ == "__main__":
+    for fig, label, mk, opt, ds in CONFIGS:
+        print(render(label, run_pair(label, mk, opt, ds))[0])
+        print()

@@ -1,0 +1,25 @@
+"""Figure 9: Gamma kernel throughput vs cuDNN on the RTX 4090 model.
+
+Same nine panels as Figure 8, with the paper's larger RTX 4090 shape lists.
+Reuses the Figure 8 renderer against the Ada device spec.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_fig8_rtx3060ti import render_panel
+from repro.bench import FIG9_PANELS
+from repro.gpusim import RTX4090
+
+
+@pytest.mark.parametrize("panel", sorted(FIG9_PANELS))
+def test_fig9_panel(benchmark, artifact, panel):
+    text = benchmark(render_panel, panel, RTX4090, FIG9_PANELS, "Figure 9")
+    artifact(f"fig9_{panel.replace('(', '_').replace(',', '_').replace(')', '')}", text)
+
+
+if __name__ == "__main__":
+    for panel in FIG9_PANELS:
+        print(render_panel(panel, RTX4090, FIG9_PANELS, "Figure 9"))
+        print()

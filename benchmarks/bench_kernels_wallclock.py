@@ -1,0 +1,51 @@
+"""Wall-clock microbenchmarks of the actual NumPy kernels (K1).
+
+Not a paper artifact — a health check that the *implementations* (not the
+GPU model) are exercised under pytest-benchmark: fused Im2col-Winograd vs
+im2col-GEMM vs direct vs FFT vs fused 2D Winograd on one moderate shape,
+plus the fused kernel across filter widths.  On CPU/NumPy the BLAS-backed
+GEMM usually wins; the interesting observable is FFT's crossover as r grows
+and the fused kernel's flat scaling in r (its work is ~independent of r at
+fixed alpha).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import conv2d_direct, conv2d_fft, conv2d_gemm, conv2d_winograd2d
+from repro.core import conv2d_im2col_winograd
+
+RNG = np.random.default_rng(1234)
+X = RNG.standard_normal((8, 32, 32, 32)).astype(np.float32)
+W3 = RNG.standard_normal((32, 3, 3, 32)).astype(np.float32)
+
+
+@pytest.mark.parametrize(
+    "name,fn",
+    [
+        ("im2col-winograd", lambda: conv2d_im2col_winograd(X, W3)),
+        ("gemm", lambda: conv2d_gemm(X, W3, ph=1, pw=1)),
+        ("direct", lambda: conv2d_direct(X, W3, ph=1, pw=1)),
+        ("fft", lambda: conv2d_fft(X, W3, ph=1, pw=1)),
+        ("winograd2d-F(2x2,3x3)", lambda: conv2d_winograd2d(X, W3, m=2)),
+    ],
+)
+def test_conv_3x3_wallclock(benchmark, name, fn):
+    y = benchmark(fn)
+    assert y.shape == (8, 32, 32, 32)
+
+
+@pytest.mark.parametrize("r", [2, 3, 5, 7, 9])
+def test_fused_width_sweep(benchmark, r):
+    w = RNG.standard_normal((32, r, r, 32)).astype(np.float32)
+    y = benchmark(lambda: conv2d_im2col_winograd(X, w))
+    assert y.shape[3] == 32
+
+
+def test_fused_matches_direct_on_bench_shape():
+    y = conv2d_im2col_winograd(X, W3)
+    ref = conv2d_direct(X, W3, ph=1, pw=1, dtype=np.float64)
+    rel = np.abs(y - ref).max() / np.abs(ref).max()
+    assert rel < 1e-4

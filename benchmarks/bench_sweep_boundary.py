@@ -1,0 +1,78 @@
+"""OW sweep: the §6.1.2 fluctuation pattern, made visible.
+
+"Gamma has optimal performance when OW % n == 0; otherwise, the overall
+performance is compromised by slower algorithms ... the performance exhibits
+larger fluctuations in intervals with smaller ofms, and tends to be smoother
+as n/alpha decreases."
+
+This bench sweeps OW over two full periods of ``n`` for three kernels with
+different ``n/alpha`` (Gamma_8(6,3): 0.75, Gamma_8(4,5): 0.5, Gamma_8(2,7):
+0.25) at a small and a large feature-map scale, and quantifies the
+peak-to-trough fluctuation of the modeled Gflop/s.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import banner, series_line, table
+from repro.gpusim import RTX3060TI, estimate_conv
+from repro.nhwc import ConvShape
+
+KERNELS = [(8, 3, 6), (8, 5, 4), (8, 7, 2)]  # (alpha, r, n)
+
+
+def sweep(alpha: int, r: int, n: int, base_ow: int, batch: int) -> list[float]:
+    out = []
+    for ow in range(base_ow, base_ow + 2 * n + 1):
+        shape = ConvShape.from_ofm(batch, base_ow, ow, 128, r=r)
+        out.append(
+            estimate_conv(
+                shape, RTX3060TI, alpha=alpha, variant="base",
+                include_filter_transpose=False,
+            ).gflops
+        )
+    return out
+
+
+def fluctuation(series: list[float]) -> float:
+    return (max(series) - min(series)) / max(series)
+
+
+def render() -> tuple[str, dict]:
+    lines = [
+        banner(
+            "OW sweep — §6.1.2 boundary fluctuation",
+            "modeled Gflop/s over two periods of n; fluctuation = (max-min)/max",
+        )
+    ]
+    rows = []
+    flucts: dict[tuple[int, int, int], float] = {}
+    for alpha, r, n in KERNELS:
+        for base_ow, label in ((12, "small maps"), (48, "large maps")):
+            series = sweep(alpha, r, n, base_ow, batch=128)
+            f = fluctuation(series)
+            flucts[(alpha, r, base_ow)] = f
+            lines.append(
+                series_line(f"G_{alpha}({n},{r}) OW={base_ow}..", series, width=22)
+            )
+            rows.append([f"Gamma_{alpha}({n},{r})", label, f"n/a={n}/{alpha}", f"{f:.1%}"])
+    lines.append("")
+    lines.append(table(["kernel", "regime", "tile fraction", "fluctuation"], rows))
+    return "\n".join(lines), flucts
+
+
+def test_sweep_boundary(benchmark, artifact):
+    text, flucts = benchmark(render)
+    artifact("sweep_boundary_fluctuation", text)
+    for (alpha, r, base_ow), f in flucts.items():
+        assert 0 <= f < 0.6
+    # Small maps fluctuate more than large maps for the same kernel.
+    for alpha, r, n in KERNELS:
+        assert flucts[(alpha, r, 12)] >= flucts[(alpha, r, 48)] - 0.02, (alpha, r)
+    # Smoother as n/alpha decreases (§6.1.2): Gamma_8(2,7) (r=7) flattest.
+    assert flucts[(8, 7, 12)] <= flucts[(8, 3, 12)] + 0.02
+
+
+if __name__ == "__main__":
+    print(render()[0])

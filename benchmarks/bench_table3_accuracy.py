@@ -1,0 +1,114 @@
+"""Table 3: average relative error vs the FP64-CPU ground truth.
+
+The paper's protocol (§6.2.1), executed for real (not modeled): ifms and
+filters drawn from U[1,2], OW a multiple of n (no boundary treatment),
+FP64 direct convolution as truth; the average relative error of the FP32
+Gamma kernel, of the CuGEMM stand-in (sequential-accumulation im2col GEMM)
+and — for the 3x3 sub-table — of the fused 2D Winograd F(2x2,3x3)
+(CuWinograd stand-in).
+
+The batch dimension is scaled down (it does not affect per-element error);
+``REPRO_BENCH_SCALE=full`` restores the paper's batch sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import bench_scale
+from repro.baselines import conv2d_direct, conv2d_gemm, conv2d_winograd2d
+from repro.bench import TABLE3_SHAPES, banner, fmt_ofm, table
+from repro.core import conv2d_im2col_winograd
+from repro.nhwc import ConvShape
+
+
+def scaled_batch(n: int) -> int:
+    return n if bench_scale() == "full" else max(2, n // 32)
+
+
+def scaled_oc(oc: int) -> int:
+    """Relative error is independent of OC (each output channel is an
+    independent GK-length reduction); shrinking OC only cuts runtime."""
+    return oc if bench_scale() == "full" else min(oc, 8)
+
+
+def mean_relative_error(got: np.ndarray, truth: np.ndarray) -> float:
+    return float(np.mean(np.abs(got.astype(np.float64) - truth) / np.abs(truth)))
+
+
+def run_subtable(kernel: str) -> tuple[str, dict[str, list[float]]]:
+    alpha, r, ofms = TABLE3_SHAPES[kernel]
+    rng = np.random.default_rng(42)
+    rows = []
+    errs: dict[str, list[float]] = {"gamma": [], "gemm": [], "wino2d": []}
+    for (n, oh, ow, oc) in ofms:
+        shape = ConvShape.from_ofm(scaled_batch(n), oh, ow, scaled_oc(oc), r=r, ic=oc)
+        x = rng.uniform(1, 2, shape.input_shape).astype(np.float32)
+        w = rng.uniform(1, 2, shape.filter_shape).astype(np.float32)
+        truth = conv2d_direct(x, w, ph=shape.ph, pw=shape.pw, dtype=np.float64)
+        e_gamma = mean_relative_error(
+            conv2d_im2col_winograd(x, w, alpha=alpha), truth
+        )
+        e_gemm = mean_relative_error(
+            conv2d_gemm(x, w, ph=shape.ph, pw=shape.pw, accumulation="sequential"), truth
+        )
+        errs["gamma"].append(e_gamma)
+        errs["gemm"].append(e_gemm)
+        row = [f"{n}x{oh}x{ow}x{oc}", f"{e_gamma:.2E}", f"{e_gemm:.2E}"]
+        if r == 3:
+            e_w2 = mean_relative_error(conv2d_winograd2d(x, w, m=2), truth)
+            errs["wino2d"].append(e_w2)
+            row.append(f"{e_w2:.2E}")
+        rows.append(row)
+    headers = ["ofm (paper batch)", kernel, "CuGEMM"]
+    if r == 3:
+        headers.append("CuWinograd")
+    return table(headers, rows), errs
+
+
+@pytest.mark.parametrize("kernel", sorted(TABLE3_SHAPES))
+def test_table3_subtable(benchmark, artifact, kernel):
+    text, errs = benchmark.pedantic(run_subtable, args=(kernel,), iterations=1, rounds=1)
+    head = banner(
+        f"Table 3 sub-table — {kernel} average relative error",
+        "U[1,2] data, FP64-CPU truth, OW multiple of n (batch scaled; see conftest)",
+    )
+    artifact(f"table3_{kernel.replace('(', '_').replace(',', '_').replace(')', '')}", head + "\n" + text)
+
+    alpha = TABLE3_SHAPES[kernel][0]
+    gamma = np.array(errs["gamma"])
+    gemm = np.array(errs["gemm"])
+    # Paper structure: Gamma_8 errors ~1e-7; Gamma_16 ~1e-5; CuGEMM worse
+    # than Gamma_8 everywhere and worse than Gamma_16 on average.
+    if alpha == 8:
+        # Paper structure that reproduces: Gamma_8 errors ~1e-7, below the
+        # sequential-chain CuGEMM stand-in whose error grows with GK.
+        assert gamma.max() < 5e-6
+        assert gamma.mean() < gemm.mean()
+        assert np.all(gamma < 2 * gemm)
+    else:
+        # Gamma_16 lands ~1e-5 as in the paper.  NOTE (EXPERIMENTS.md):
+        # our round-to-nearest FMA chain is *more* accurate than the error
+        # cuDNN exhibits in Table 3, so the paper's Gamma_16 < CuGEMM
+        # ordering does not reproduce — only the Gamma_16 error scale does.
+        assert 5e-7 < gamma.mean() < 5e-4
+    assert gemm.mean() > 5e-8
+    # CuGEMM error grows with GK (= IC * r^2): last row worst.
+    assert gemm[-1] > gemm[0]
+
+
+def test_table3_error_grows_with_alpha():
+    """§6.2.2: larger alpha -> larger transform-magnitude disparity -> lower
+    accuracy (Gamma_16 about two orders above Gamma_8)."""
+    _, e8 = run_subtable("Gamma_8(6,3)")
+    _, e16 = run_subtable("Gamma_16(8,9)")
+    assert np.mean(e16["gamma"]) > 10 * np.mean(e8["gamma"])
+
+
+if __name__ == "__main__":
+    for kernel in TABLE3_SHAPES:
+        text, _ = run_subtable(kernel)
+        print(banner(f"Table 3 — {kernel}"))
+        print(text)
+        print()

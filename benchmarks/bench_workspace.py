@@ -1,0 +1,54 @@
+"""Workspace comparison (§3, §6.1.1): why the baseline set is what it is.
+
+The paper benchmarks only Implicit_Precomp_GEMM and Fused_Winograd because
+they are "as memory-efficient as Im2col-Winograd", while Non_Fused_Winograd
+and FFT "require a much larger workspace".  This bench prints the
+global-memory workspace of each algorithm across a column of the Figure-8
+shapes, turning that justification into numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import FIG8_PANELS, banner, fmt_ofm, panel_shapes, table
+from repro.core.workspace import workspace_report
+
+
+def render() -> tuple[str, list[dict]]:
+    rows, reports = [], []
+    for shape, _ in panel_shapes(FIG8_PANELS["Gamma_8(6,3)"]):
+        r = workspace_report(shape)
+        reports.append(r)
+        rows.append(
+            [
+                fmt_ofm(shape),
+                f"{r['fused-im2col-winograd']}",
+                f"{r['implicit-gemm'] / 1e3:,.0f} KB",
+                f"{r['explicit-gemm'] / 1e6:,.0f} MB",
+                f"{r['nonfused-winograd2d'] / 1e6:,.0f} MB",
+                f"{r['fft'] / 1e6:,.0f} MB",
+            ]
+        )
+    head = banner(
+        "Workspace per algorithm (§3/§6.1.1) — Gamma_8(6,3) shape column",
+        "fused & implicit-GEMM are memory-comparable; the rest are not",
+    )
+    body = table(
+        ["ofm", "fused (B)", "implicit GEMM", "explicit GEMM", "non-fused Winograd", "FFT"],
+        rows,
+    )
+    return head + "\n" + body, reports
+
+
+def test_workspace_table(benchmark, artifact):
+    text, reports = benchmark(render)
+    artifact("workspace_comparison", text)
+    for r in reports:
+        assert r["fused-im2col-winograd"] == 0
+        assert r["nonfused-winograd2d"] > 1000 * max(1, r["implicit-gemm"])
+        assert r["fft"] > 100 * max(1, r["implicit-gemm"])
+
+
+if __name__ == "__main__":
+    print(render()[0])

@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_*.py`` regenerates one paper artifact (table or figure).  The
+regenerated artifact text is printed and also written to
+``benchmarks/out/<name>.txt`` so EXPERIMENTS.md can reference stable files;
+pytest-benchmark's own timing table covers the wall-clock side.
+
+Scale control: the paper's Experiment-2/3 workloads are sized for a GPU; a
+NumPy reproduction runs them at reduced batch / model width.  Set
+``REPRO_BENCH_SCALE=full`` for paper-sized batches (slow) or leave the
+default ``small``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if scale not in ("small", "full"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be 'small' or 'full', got {scale!r}")
+    return scale
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Print a regenerated artifact and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture
+def artifact():
+    return save_artifact

@@ -1,0 +1,73 @@
+"""Kernel planning and the GPU model — a tour of the paper's design space.
+
+Walks through the machinery behind Sections 4-5:
+
+  1. the kernel registry (which Gamma_alpha(n, r) exist, their blocking),
+  2. the theoretical acceleration curve Phi(r) = nr/(n+r-1) and why
+     Gamma_8(4,5)/(5,4) are the sweet spot (§6.1.2),
+  3. boundary segmentation across an OW sweep (Figure 7),
+  4. occupancy and SMEM budgets (the alpha <= 24 argument of §4.1),
+  5. a mini Figure-8 slice: modeled Gflop/s for one shape across kernels.
+
+Run:  python examples/kernel_planning.py
+"""
+
+from repro.bench import theoretical_acceleration
+from repro.core import (
+    get_kernel,
+    plan_width_segments,
+    registered_kernels,
+    variant_spec,
+)
+from repro.gpusim import RTX3060TI, estimate_conv, estimate_cudnn_gemm, occupancy_for
+from repro.nhwc import ConvShape
+
+# 1. Registry --------------------------------------------------------------
+print("== registered kernels (shipped widths 2-9) ==")
+for k in registered_kernels():
+    s = k.spec
+    print(
+        f"  {k.name:<22} block {s.bn}x{s.bm}x{s.bk}  threads {s.threads:>3}  "
+        f"SMEM {s.smem_bytes:>6} B  {'double-buffered' if s.double_buffered else 'single'}"
+    )
+
+# 2. Theoretical acceleration ----------------------------------------------
+print("\n== Phi(r) = nr/(n+r-1) for alpha = 8 (peaks at r = 4, 5) ==")
+for r in range(2, 8):
+    n = 9 - r
+    bar = "#" * int(theoretical_acceleration(n, r) * 10)
+    print(f"  r={r}: Phi={theoretical_acceleration(n, r):.3f} {bar}")
+
+# 3. Boundary segmentation --------------------------------------------------
+print("\n== Figure 7: OW segmentation for FW=3 (primary Gamma_8(6,3)) ==")
+for ow in (60, 61, 63, 65, 67):
+    segs = plan_width_segments(ow, 3, primary=get_kernel(8, 3))
+    desc = " + ".join(f"{s.name}x{s.width}" for s in segs)
+    print(f"  OW={ow}: {desc}")
+
+# 4. Occupancy --------------------------------------------------------------
+print("\n== occupancy on RTX3060Ti (why alpha <= 24, §4.1) ==")
+for alpha, r in ((4, 3), (8, 3), (16, 9)):
+    spec = variant_spec(alpha, alpha - r + 1, r)
+    occ = occupancy_for(
+        RTX3060TI,
+        threads_per_block=spec.threads,
+        smem_per_block=spec.smem_bytes,
+        regs_per_thread=spec.regs_per_thread,
+    )
+    print(
+        f"  alpha={alpha:<2} SMEM/block {spec.smem_bytes:>6} B -> "
+        f"{occ.blocks_per_sm} blocks/SM, {occ.active_warps} warps "
+        f"(limited by {occ.limiter})"
+    )
+
+# 5. Mini Figure-8 slice -----------------------------------------------------
+print("\n== modeled Gflop/s, ofms 128x48x48x128, RTX3060Ti ==")
+gemm = estimate_cudnn_gemm(
+    ConvShape.from_ofm(128, 48, 48, 128, r=3), RTX3060TI, layout="nhwc"
+).gflops
+print(f"  cuDNN NHWC GEMM (r=3): {gemm:>8,.0f}")
+for r in (2, 3, 4, 5, 6, 7, 8, 9):
+    shape = ConvShape.from_ofm(128, 48, 48, 128, r=r)
+    est = estimate_conv(shape, RTX3060TI)
+    print(f"  r={r} {est.algorithm:<22} {est.gflops:>8,.0f}  ({est.bound}-bound)")

@@ -1,0 +1,41 @@
+"""Train a CNN end-to-end with Im2col-Winograd convolutions (Experiment 3).
+
+Builds a VGG16 (5x5-filter variant, so the convolutions run on
+Gamma_8(4,5)) on a synthetic Cifar10-like dataset, trains it with Adam
+under both convolution engines — the fused Winograd engine ("Alpha") and
+the im2col-GEMM engine (the PyTorch stand-in) — and prints the head-to-head
+that Tables 4/5 report: loss trajectory, accuracy, accounted memory.
+
+Run:  python examples/train_cnn.py          (~1 minute)
+"""
+
+import numpy as np
+
+from repro.dlframe import Adam, Trainer, synthetic_cifar10
+from repro.dlframe.models import vgg16x5
+
+IMAGE, CLASSES = 16, 10
+
+train, test = synthetic_cifar10(train=512, test=128, image=IMAGE, noise=0.25, seed=3)
+print(f"synthetic Cifar10: {len(train)} train / {len(test)} test, {IMAGE}x{IMAGE}x3\n")
+
+records = {}
+for engine in ("winograd", "gemm"):
+    model = vgg16x5(classes=CLASSES, image=IMAGE, width_mult=0.25, engine=engine, seed=11)
+    trainer = Trainer(model, Adam(model.parameters(), lr=1e-3), record_every=2)
+    rec = trainer.fit(train, test, epochs=4, batch_size=64, seed=17)
+    records[engine] = rec
+    tag = "Alpha (winograd)" if engine == "winograd" else "PyTorch-like (gemm)"
+    print(
+        f"{tag:<20} loss {rec.losses[0]:.3f} -> {rec.losses[-1]:.3f}  "
+        f"train acc {rec.train_accuracy:.1%}  test acc {rec.test_accuracy:.1%}  "
+        f"memory {rec.memory_bytes / 1e6:.0f} MB  "
+        f"({rec.seconds_per_epoch:.2f} s/epoch wall)"
+    )
+
+a, p = records["winograd"], records["gemm"]
+gap = max(abs(x - y) for x, y in zip(a.losses, p.losses))
+print(f"\nmax loss-curve gap between engines: {gap:.4f} (convergence parity)")
+print(f"memory saving of the fused engine: "
+      f"{(p.memory_bytes - a.memory_bytes) / 1e6:.1f} MB (no im2col workspace)")
+assert a.train_accuracy > 0.6 and p.train_accuracy > 0.6

@@ -1,0 +1,41 @@
+"""repro — full Python reproduction of "Im2col-Winograd: An Efficient and
+Flexible Fused-Winograd Convolution for NHWC Format on GPUs" (ICPP 2024).
+
+Subpackages
+-----------
+``repro.core``
+    The fused Gamma_alpha(n, r) convolution, transform synthesis, gradients,
+    boundary treatment, planner.
+``repro.nhwc``
+    NHWC tensor utilities (layouts, im2col, tile extraction).
+``repro.baselines``
+    Direct, GEMM, FFT and fused 2D-Winograd convolutions.
+``repro.gpusim``
+    GPU execution-model substrate (SMEM banks, occupancy, roofline perf
+    model) used to reproduce the paper's throughput figures.
+``repro.dlframe``
+    Dragon-Alpha analogue: autograd, layers, optimizers, VGG/ResNet models.
+``repro.bench``
+    Shared benchmark harness (shapes, flop accounting, table printers).
+"""
+
+from .core import (
+    conv2d_filter_grad,
+    conv2d_im2col_winograd,
+    conv2d_input_grad,
+    plan_convolution,
+    winograd_matrices,
+)
+from .nhwc import ConvShape
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "conv2d_im2col_winograd",
+    "conv2d_input_grad",
+    "conv2d_filter_grad",
+    "plan_convolution",
+    "winograd_matrices",
+    "ConvShape",
+    "__version__",
+]

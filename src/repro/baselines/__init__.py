@@ -1,0 +1,30 @@
+"""Baseline convolution algorithms (all implemented from scratch).
+
+* :func:`conv2d_direct` — direct convolution; FP64 mode is the accuracy
+  ground truth of Experiment 2.
+* :func:`conv2d_gemm` — im2col + GEMM, the Implicit_Precomp_GEMM analogue
+  (``accumulation="sequential"`` models cuDNN's FMA-chain rounding).
+* :func:`conv2d_fft` — frequency-domain convolution.
+* :func:`conv2d_winograd2d` — fused 2D Winograd ``F(m x m, r x r)``, the
+  cuDNN Fused_Winograd analogue.
+"""
+
+from .direct import conv2d_direct
+from .fft import conv2d_fft
+from .gemm import conv2d_gemm
+from .winograd2d import (
+    conv2d_winograd2d,
+    items_per_output_1d,
+    items_per_output_2d,
+    states_2d,
+)
+
+__all__ = [
+    "conv2d_direct",
+    "conv2d_gemm",
+    "conv2d_fft",
+    "conv2d_winograd2d",
+    "states_2d",
+    "items_per_output_2d",
+    "items_per_output_1d",
+]

@@ -1,0 +1,75 @@
+"""Direct convolution — the accuracy ground truth.
+
+Experiment 2 uses an FP64 CPU convolution with FP64 accumulators as the
+"true value" (§6.2.1).  :func:`conv2d_direct` with ``dtype=np.float64`` plays
+that role here; with ``dtype=np.float32`` it doubles as a plain, obviously
+correct FP32 reference for unit tests.
+
+The implementation gathers the ``(FH, FW)`` window view with stride tricks
+and contracts with einsum — a textbook "direct" algorithm with no algebraic
+rewrites, so its rounding behaviour is that of straight summation order
+chosen by BLAS, independent of any Winograd machinery under test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nhwc.tensor import conv_output_size, pad_nhwc
+
+__all__ = ["conv2d_direct"]
+
+
+def conv2d_direct(
+    x: np.ndarray,
+    w: np.ndarray,
+    *,
+    ph: int = 0,
+    pw: int = 0,
+    stride: int = 1,
+    dtype: np.dtype | type | None = None,
+) -> np.ndarray:
+    """Direct 2D cross-correlation, NHWC activations x (OC,FH,FW,IC) filters.
+
+    Parameters
+    ----------
+    x:
+        Input ifms ``(N, IH, IW, IC)``.
+    w:
+        Filters ``(OC, FH, FW, IC)``.
+    ph, pw:
+        Zero padding on the height / width axes.
+    stride:
+        Common spatial stride (any positive value; the direct algorithm is
+        the fallback for the non-unit-stride cases the Winograd kernels
+        refuse).
+    dtype:
+        Computation dtype.  ``np.float64`` reproduces the paper's FP64-CPU
+        benchmark; default keeps the input dtype.
+
+    Returns
+    -------
+    ofms ``(N, OH, OW, OC)`` in the computation dtype.
+    """
+    if x.ndim != 4 or w.ndim != 4:
+        raise ValueError(f"expected 4D x and w, got ndim {x.ndim} and {w.ndim}")
+    if x.shape[3] != w.shape[3]:
+        raise ValueError(f"channel mismatch: input IC={x.shape[3]}, filter IC={w.shape[3]}")
+    if dtype is not None:
+        x = x.astype(dtype, copy=False)
+        w = w.astype(dtype, copy=False)
+    n, ih, iw, ic = x.shape
+    oc, fh, fw, _ = w.shape
+    oh = conv_output_size(ih, fh, ph, stride)
+    ow = conv_output_size(iw, fw, pw, stride)
+    if oh < 1 or ow < 1:
+        raise ValueError(f"empty output {oh}x{ow} for input {ih}x{iw}, filter {fh}x{fw}")
+    xp = pad_nhwc(x, ph, pw)
+    sn, sh, sw, sc = xp.strides
+    windows = np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(n, oh, ow, fh, fw, ic),
+        strides=(sn, sh * stride, sw * stride, sh, sw, sc),
+        writeable=False,
+    )
+    return np.einsum("nhwabc,oabc->nhwo", windows, w, optimize=True)

@@ -1,0 +1,60 @@
+"""FFT convolution baseline.
+
+The paper's background section places FFT among the standard convolution
+algorithms ("FFT is efficient for large filters", §2) but excludes it from
+the benchmark set because of its large workspace (§6.1.1).  We implement it
+anyway: it is an independent third oracle for correctness tests, and the
+wall-clock kernel bench uses it to show the classic crossover (FFT loses at
+CNN-typical filter sizes, gains as ``r`` grows).
+
+Cross-correlation is computed in the frequency domain as
+``Y(f) = sum_ic X(f) * conj(W(f))`` over zero-padded spatial axes, with the
+valid region sliced out.  Computation is float64 internally (FFT twiddle
+error in float32 would be unrepresentative) and cast back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nhwc.tensor import conv_output_size, pad_nhwc
+
+__all__ = ["conv2d_fft"]
+
+
+def conv2d_fft(
+    x: np.ndarray,
+    w: np.ndarray,
+    *,
+    ph: int = 0,
+    pw: int = 0,
+    dtype: np.dtype | type | None = None,
+) -> np.ndarray:
+    """FFT-based unit-stride 2D cross-correlation, NHWC / (OC, FH, FW, IC).
+
+    Strided convolution is not offered (compute-then-subsample would be
+    wasteful, and no caller needs it).
+    """
+    if x.ndim != 4 or w.ndim != 4:
+        raise ValueError(f"expected 4D x and w, got ndim {x.ndim} and {w.ndim}")
+    if x.shape[3] != w.shape[3]:
+        raise ValueError(f"channel mismatch: input IC={x.shape[3]}, filter IC={w.shape[3]}")
+    out_dtype = np.dtype(dtype) if dtype is not None else x.dtype
+    n, ih, iw, ic = x.shape
+    oc, fh, fw, _ = w.shape
+    oh = conv_output_size(ih, fh, ph)
+    ow = conv_output_size(iw, fw, pw)
+    if oh < 1 or ow < 1:
+        raise ValueError(f"empty output {oh}x{ow}")
+
+    xp = pad_nhwc(x, ph, pw).astype(np.float64, copy=False)
+    fft_h = ih + 2 * ph
+    fft_w = iw + 2 * pw
+    # rfft over the spatial axes; channels ride along.
+    xf = np.fft.rfft2(xp, s=(fft_h, fft_w), axes=(1, 2))  # (N, FH', FW'/2+1, IC)
+    wf = np.fft.rfft2(w.astype(np.float64, copy=False), s=(fft_h, fft_w), axes=(1, 2))
+    # Correlation: multiply by conj(W); sum over input channels.
+    yf = np.einsum("nabi,oabi->nabo", xf, np.conj(wf), optimize=True)
+    y = np.fft.irfft2(yf, s=(fft_h, fft_w), axes=(1, 2))
+    # Correlation via conj shifts the valid block to the start.
+    return y[:, :oh, :ow, :].astype(out_dtype)

@@ -1,0 +1,154 @@
+"""Fused 2D Winograd ``F(m x m, r x r)`` — the cuDNN Fused_Winograd analogue.
+
+The mainstream approach the paper positions itself against (§2): nest
+``F(m, r)`` with itself to produce ``m x m`` outputs from ``r x r`` filters
+via
+
+.. math::
+
+    Y = A^T \\big[ (G W G^T) \\odot (D^T X D) \\big] A
+
+accumulated over input channels in the transform domain (fused, no
+workspace).  cuDNN's FP32 fused Winograd is restricted to 3x3 filters and
+NCHW (§6.1.1); our implementation accepts any ``(m, r)`` whose 1D scheme
+exists, which lets tests compare 2D state counts ``alpha^2`` against the 1D
+``alpha`` directly (the §4.2 space-complexity argument: F(2x2,3x3) holds 16
+states and loads 25/4 items per output, Gamma_8(6,3) holds 8 and loads 33/6).
+
+Ragged edges (OH % m or OW % m) are finished by direct dot products.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nhwc.tensor import conv_output_size, pad_nhwc
+from ..core.transforms import winograd_matrices
+
+__all__ = ["conv2d_winograd2d", "states_2d", "items_per_output_2d", "items_per_output_1d"]
+
+
+def states_2d(m: int, r: int) -> int:
+    """State count of ``F(m x m, r x r)``: ``(m + r - 1)^2`` (§3)."""
+    return (m + r - 1) ** 2
+
+
+def items_per_output_2d(m: int, r: int) -> float:
+    """Items loaded per output for 2D tiles: ``(alpha^2 + r^2) / m^2``.
+
+    Counts both the input tile (``alpha x alpha``) and the filter tile
+    (``r x r``), matching the paper's §4.2 accounting: F(2x2,3x3) loads
+    ``(16 + 9) / 4 = 25/4`` items per output, vs Gamma_8(6,3)'s
+    ``3 * (8 + 3) / 6 = 33/6`` (one alpha-tile + one r-row per filter row).
+    """
+    alpha = m + r - 1
+    return (alpha * alpha + r * r) / (m * m)
+
+
+def items_per_output_1d(alpha: int, n: int, r: int, fh: int) -> float:
+    """Items loaded per output for Gamma_alpha(n, r) with ``fh`` filter rows.
+
+    Per output tile (n outputs) each of the ``fh`` filter rows costs one
+    alpha-wide input tile plus one r-wide filter row: ``fh * (alpha + r) / n``.
+    Gamma_8(6,3): 3 * (8 + 3) / 6 = 33/6 (§4.2).
+    """
+    return fh * (alpha + r) / n
+
+
+def conv2d_winograd2d(
+    x: np.ndarray,
+    w: np.ndarray,
+    *,
+    m: int = 2,
+    ph: int | None = None,
+    pw: int | None = None,
+    dtype: np.dtype | type = np.float32,
+) -> np.ndarray:
+    """Fused 2D Winograd convolution for square ``r x r`` filters.
+
+    Parameters
+    ----------
+    x, w:
+        NHWC ifms, ``(OC, FH, FW, IC)`` filters with ``FH == FW``.
+    m:
+        Output tile edge (2 for the classic F(2x2, 3x3)).
+    ph, pw:
+        Padding, default ``⌊r/2⌋``.
+    """
+    if x.ndim != 4 or w.ndim != 4:
+        raise ValueError(f"expected 4D x and w, got ndim {x.ndim} and {w.ndim}")
+    oc, fh, fw, ic = w.shape
+    if fh != fw:
+        raise ValueError(f"2D Winograd requires square filters, got {fh}x{fw}")
+    r = fh
+    if ph is None:
+        ph = r // 2
+    if pw is None:
+        pw = r // 2
+    x = np.asarray(x, dtype=dtype)
+    w = np.asarray(w, dtype=dtype)
+    batch, ih, iw, _ = x.shape
+    oh = conv_output_size(ih, r, ph)
+    ow = conv_output_size(iw, r, pw)
+    alpha = m + r - 1
+    mats = winograd_matrices(m, r, dtype=np.dtype(dtype).name)
+    at, g, dt = mats.AT, mats.G, mats.DT
+
+    # Filter transform: U[a, b, oc, ic] = (G W G^T)[a, b] per (oc, ic).
+    u = np.einsum("ap,opqi,bq->aboi", g, w, g, optimize=True)
+
+    xp = pad_nhwc(x, ph, pw)
+    th, tw = oh // m, ow // m
+    y = np.empty((batch, oh, ow, oc), dtype=dtype)
+    if th > 0 and tw > 0:
+        # Gather 2D tiles: (N, TH, TW, alpha, alpha, IC) via stride tricks.
+        sn, sh, sw, sc = xp.strides
+        tiles = np.lib.stride_tricks.as_strided(
+            xp,
+            shape=(batch, th, tw, alpha, alpha, ic),
+            strides=(sn, sh * m, sw * m, sh, sw, sc),
+            writeable=False,
+        )
+        # Input transform: V = D^T X D over the two tile axes.
+        v = np.einsum("ap,nhwpqi,bq->nhwabi", dt, tiles, dt, optimize=True)
+        # Transform-domain accumulation over IC.
+        mprod = np.einsum("nhwabi,aboi->nhwabo", v, u, optimize=True)
+        # Output transform: Y = A^T M A.
+        out = np.einsum("ja,nhwabo,kb->nhwjko", at, mprod, at, optimize=True)
+        y[:, : th * m, : tw * m, :] = out.transpose(0, 1, 3, 2, 4, 5).reshape(
+            batch, th * m, tw * m, oc
+        )
+    # Ragged bottom rows and right columns: direct dot products.
+    _direct_fill(y, xp, w, oh, ow, row0=th * m, col0=0)
+    _direct_fill(y, xp, w, oh, ow, row0=0, col0=tw * m, row1=th * m)
+    return y
+
+
+def _direct_fill(
+    y: np.ndarray,
+    xp: np.ndarray,
+    w: np.ndarray,
+    oh: int,
+    ow: int,
+    *,
+    row0: int,
+    col0: int,
+    row1: int | None = None,
+    col1: int | None = None,
+) -> None:
+    """Fill ``y[:, row0:row1, col0:col1, :]`` by direct convolution on xp."""
+    row1 = oh if row1 is None else row1
+    col1 = ow if col1 is None else col1
+    if row0 >= row1 or col0 >= col1:
+        return
+    oc, fh, fw, ic = w.shape
+    sn, sh, sw, sc = xp.strides
+    n = xp.shape[0]
+    region = xp[:, row0:, col0:, :]
+    windows = np.lib.stride_tricks.as_strided(
+        region,
+        shape=(n, row1 - row0, col1 - col0, fh, fw, ic),
+        strides=(sn, sh, sw, sh, sw, sc),
+        writeable=False,
+    )
+    y[:, row0:row1, col0:col1, :] = np.einsum("nhwabc,oabc->nhwo", windows, w, optimize=True)

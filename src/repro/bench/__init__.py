@@ -1,0 +1,25 @@
+"""Benchmark substrate: paper shape lists, flop accounting, output helpers."""
+
+from .flops import gflops, standard_flops, theoretical_acceleration, winograd_elem_mul_flops
+from .harness import banner, fmt_ofm, series_line, speedup_band, table
+from .training_model import modeled_epoch_conv_time_ms, modeled_training_acceleration
+from .shapes import FIG8_PANELS, FIG9_PANELS, FIG10_CONFIGS, TABLE3_SHAPES, panel_shapes
+
+__all__ = [
+    "FIG8_PANELS",
+    "FIG9_PANELS",
+    "TABLE3_SHAPES",
+    "FIG10_CONFIGS",
+    "panel_shapes",
+    "standard_flops",
+    "winograd_elem_mul_flops",
+    "gflops",
+    "theoretical_acceleration",
+    "banner",
+    "table",
+    "series_line",
+    "fmt_ofm",
+    "speedup_band",
+    "modeled_epoch_conv_time_ms",
+    "modeled_training_acceleration",
+]

@@ -1,0 +1,40 @@
+"""FLOP accounting for the paper's Gflop/s metric (§6.1.1).
+
+Everything is derived from the standard-convolution count
+``2 * N * OC * OH * OW * FH * FW * IC`` regardless of algorithm — the
+paper's convention, which is why a Winograd kernel can "exceed peak".
+Actual-work counters for the Winograd kernels live here too, for
+roofline-style sanity numbers in bench output.
+"""
+
+from __future__ import annotations
+
+from ..nhwc.tensor import ConvShape
+
+__all__ = ["standard_flops", "winograd_elem_mul_flops", "gflops", "theoretical_acceleration"]
+
+
+def standard_flops(shape: ConvShape) -> int:
+    """``2*N*OC*OH*OW*FH*FW*IC`` — the reported-metric numerator."""
+    return shape.flops
+
+
+def winograd_elem_mul_flops(shape: ConvShape, alpha: int) -> float:
+    """Actual elem-mul FMAs of ``Gamma_alpha`` over the full (exactly
+    covered) output: ``2*N*OH*(OW/n)*OC*alpha*FH*IC``."""
+    n = alpha - shape.fw + 1
+    tiles = shape.ow / n
+    return 2.0 * shape.batch * shape.oh * tiles * shape.oc * alpha * shape.fh * shape.ic
+
+
+def gflops(shape: ConvShape, seconds: float) -> float:
+    """Reported throughput of one execution taking ``seconds``."""
+    if seconds <= 0:
+        raise ValueError(f"seconds must be positive, got {seconds}")
+    return standard_flops(shape) / seconds / 1e9
+
+
+def theoretical_acceleration(n: int, r: int) -> float:
+    """``Phi = n*r / (n + r - 1)`` (§6.1.2) — convex in r for fixed alpha,
+    peaking at r = (alpha+1)/2."""
+    return n * r / (n + r - 1)

@@ -1,0 +1,60 @@
+"""Shared benchmark output helpers.
+
+Each ``benchmarks/bench_*.py`` regenerates one paper artifact; these helpers
+keep their output uniform: a title block naming the artifact, aligned
+columns, an ASCII sparkline for "figure" series, and a paper-vs-measured
+footer so EXPERIMENTS.md rows can be pasted from bench output.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["banner", "table", "series_line", "fmt_ofm", "speedup_band"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def banner(artifact: str, detail: str = "") -> str:
+    """Title block naming the paper artifact being regenerated."""
+    line = "=" * 78
+    out = [line, f"  {artifact}", ]
+    if detail:
+        out.append(f"  {detail}")
+    out.append(line)
+    return "\n".join(out)
+
+
+def table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width ASCII table."""
+    cols = [list(map(str, col)) for col in zip(headers, *rows)]
+    widths = [max(len(v) for v in col) for col in cols]
+    def fmt_row(vals):
+        return "  ".join(str(v).rjust(w) for v, w in zip(vals, widths))
+    sep = "  ".join("-" * w for w in widths)
+    lines = [fmt_row(headers), sep]
+    lines.extend(fmt_row(r) for r in rows)
+    return "\n".join(lines)
+
+
+def series_line(label: str, values: Sequence[float], width: int = 14) -> str:
+    """One figure series as label + sparkline + min/max annotations."""
+    vals = list(values)
+    if not vals:
+        return f"{label:<{width}} (empty)"
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        bars = _BLOCKS[3] * len(vals)
+    else:
+        bars = "".join(_BLOCKS[int((v - lo) / (hi - lo) * (len(_BLOCKS) - 1))] for v in vals)
+    return f"{label:<{width}} {bars}  [{lo:,.0f} .. {hi:,.0f}]"
+
+
+def fmt_ofm(shape) -> str:
+    """``N x OH x OW x OC`` like the paper's x-axis labels."""
+    return f"{shape.batch}x{shape.oh}x{shape.ow}x{shape.oc}"
+
+
+def speedup_band(ratios: Sequence[float]) -> str:
+    """``min-max x`` formatting used throughout Table 2."""
+    return f"{min(ratios):.3f}-{max(ratios):.3f}x"

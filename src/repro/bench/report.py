@@ -1,0 +1,144 @@
+"""``python -m repro.bench.report`` — regenerate paper artifacts without pytest.
+
+A small CLI over the same renderers the benchmark suite uses, for users who
+want the tables/figures directly:
+
+.. code-block:: bash
+
+    python -m repro.bench.report --list
+    python -m repro.bench.report fig8 table2
+    python -m repro.bench.report all          # model-only artifacts (fast)
+
+Only the model-backed artifacts (Figures 8/9, Table 2, ablations A1-A3) are
+offered here; the arithmetic- and training-backed ones (Table 3, Figure 10,
+Tables 4/5, Figures 11/12) take minutes and stay under
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..core.simplify import transform_mul_counts
+from ..core.transforms import winograd_matrices
+from ..core.variants import variant_spec
+from ..gpusim import (
+    RTX3060TI,
+    RTX4090,
+    estimate_conv,
+    estimate_cudnn_fused_winograd,
+    estimate_cudnn_gemm,
+)
+from ..gpusim.trace import simulate_block_iteration, simulate_output_stage
+from .harness import banner, fmt_ofm, series_line, speedup_band, table
+from .shapes import FIG8_PANELS, FIG9_PANELS, panel_shapes
+
+__all__ = ["render_figure_panels", "render_table2", "render_ablations", "main"]
+
+
+def render_figure_panels(device, panels, fig: str) -> str:
+    """All nine panels of Figure 8 or 9 (base + `*` series only)."""
+    chunks = []
+    for name, panel in panels.items():
+        alpha, r, _ = panel
+        rows = []
+        base_series, star_series, gemm_series = [], [], []
+        for shape, a in panel_shapes(panel):
+            base = estimate_conv(shape, device, alpha=a, variant="base").gflops
+            star = estimate_conv(
+                shape, device, alpha=a, variant="base", include_filter_transpose=False
+            ).gflops
+            gemm = estimate_cudnn_gemm(shape, device, layout="nhwc").gflops
+            base_series.append(base)
+            star_series.append(star)
+            gemm_series.append(gemm)
+            rows.append([fmt_ofm(shape), f"{base:,.0f}", f"{star:,.0f}", f"{gemm:,.0f}"])
+        chunks.append(banner(f"{fig} — {name} on {device.name} (modeled Gflop/s)"))
+        chunks.append(table(["ofm", name, f"{name}*", "GEMM-NHWC"], rows))
+        chunks.append(series_line(name, base_series, width=18))
+        chunks.append(series_line("GEMM-NHWC", gemm_series, width=18))
+        chunks.append("")
+    return "\n".join(chunks)
+
+
+def render_table2() -> str:
+    rows = []
+    for device, panels in ((RTX3060TI, FIG8_PANELS), (RTX4090, FIG9_PANELS)):
+        for name, panel in panels.items():
+            alpha, r, _ = panel
+            ratios = []
+            for shape, a in panel_shapes(panel):
+                ours = estimate_conv(shape, device, alpha=a, variant="base").gflops
+                cands = [
+                    estimate_cudnn_gemm(shape, device, layout="nhwc").gflops,
+                    estimate_cudnn_gemm(shape, device, layout="nchw").gflops,
+                ]
+                if r == 3:
+                    cands.append(estimate_cudnn_fused_winograd(shape, device).gflops)
+                ratios.append(ours / max(cands))
+            rows.append([name, device.name, speedup_band(ratios)])
+    return (
+        banner("Table 2 — modeled speedup over the fastest cuDNN algorithm")
+        + "\n"
+        + table(["Algorithm", "Device", "Speedup band"], rows)
+    )
+
+
+def render_ablations() -> str:
+    chunks = [banner("Ablations A1-A3 (model/trace summaries)")]
+    rows = []
+    for alpha, n, r in [(4, 3, 2), (8, 6, 3), (16, 8, 9)]:
+        spec = variant_spec(alpha, n, r)
+        on = simulate_block_iteration(spec, swizzle_ds=True)
+        off = simulate_block_iteration(spec, swizzle_ds=False)
+        ys_off = simulate_output_stage(spec, padded=False)
+        m = winograd_matrices(n, r, dtype="float64")
+        c = transform_mul_counts(m.DT)
+        rows.append(
+            [
+                f"Gamma_{alpha}({n},{r})",
+                f"{off.phases / on.phases:.2f}x",
+                f"{ys_off.conflict_overhead:.1f}",
+                f"{1 - c['paired'] / c['dense']:.0%}",
+            ]
+        )
+    chunks.append(
+        table(
+            ["kernel", "swizzle store saving", "Ys overhead unpadded", "D^T muls saved"],
+            rows,
+        )
+    )
+    return "\n".join(chunks)
+
+
+ARTIFACTS = {
+    "fig8": lambda: render_figure_panels(RTX3060TI, FIG8_PANELS, "Figure 8"),
+    "fig9": lambda: render_figure_panels(RTX4090, FIG9_PANELS, "Figure 9"),
+    "table2": render_table2,
+    "ablations": render_ablations,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.report",
+        description="Regenerate the paper's model-backed artifacts.",
+    )
+    parser.add_argument("artifacts", nargs="*", help="fig8 fig9 table2 ablations | all")
+    parser.add_argument("--list", action="store_true", help="list available artifacts")
+    args = parser.parse_args(argv)
+    if args.list or not args.artifacts:
+        print("available artifacts:", ", ".join(ARTIFACTS), "| all")
+        return 0
+    names = list(ARTIFACTS) if args.artifacts == ["all"] else args.artifacts
+    for name in names:
+        if name not in ARTIFACTS:
+            print(f"unknown artifact {name!r}; try --list", file=sys.stderr)
+            return 2
+        print(ARTIFACTS[name]())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

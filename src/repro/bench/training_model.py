@@ -1,0 +1,106 @@
+"""Modeled GPU training acceleration for Experiment 3 (Tables 4/5).
+
+The paper's "Acceleration" column is a GPU wall-clock ratio; our NumPy
+substrate's wall-clock is BLAS-bound and unrepresentative, so the per-epoch
+convolution time is *modeled* with the same performance model that
+reproduces Figures 8/9, summed over a network's conv layers:
+
+* forward: the layer's engine (fused Winograd where the §5.7 dispatch
+  allows, cuDNN-GEMM otherwise / for the PyTorch stand-in);
+* backward data gradient: same cost as forward ("the backward kernels have
+  similar performance to the forward kernels", §5.1);
+* filter gradient: a GEMM in both engines, so it appears on both sides.
+
+This reproduces the structure of §6.3.2: the biggest accelerations on
+VGG16x5/VGG16x7 (higher multiplication reduction), smaller on ResNet
+(strided convolutions bypass Winograd entirely).
+"""
+
+from __future__ import annotations
+
+from ..dlframe.layers import Module
+from ..dlframe.trainer import conv_layer_geometries
+from ..gpusim.device import DeviceSpec
+from ..gpusim.perfmodel import estimate_conv, estimate_cudnn_gemm
+from ..nhwc.tensor import ConvShape
+
+__all__ = ["modeled_epoch_conv_time_ms", "modeled_training_acceleration"]
+
+#: Filter widths the shipped Gamma kernels cover.
+_WINOGRAD_WIDTHS = range(2, 10)
+
+
+def _layer_shape(layer, ih: int, iw: int, batch: int) -> ConvShape:
+    return ConvShape(
+        batch=batch,
+        ih=ih,
+        iw=iw,
+        ic=layer.ic,
+        oc=layer.oc,
+        fh=layer.kernel,
+        fw=layer.kernel,
+        ph=layer.padding,
+        pw=layer.padding,
+        stride=layer.stride,
+    )
+
+
+def _forward_time_ms(shape: ConvShape, engine: str, device: DeviceSpec) -> float:
+    winograd_ok = (
+        engine == "winograd"
+        and shape.stride == 1
+        and shape.fw in _WINOGRAD_WIDTHS
+        and shape.pw < shape.fw
+    )
+    if winograd_ok:
+        return estimate_conv(shape, device).time_ms
+    return estimate_cudnn_gemm(shape, device).time_ms
+
+
+def modeled_epoch_conv_time_ms(
+    model: Module,
+    *,
+    image: int,
+    batch: int,
+    steps: int,
+    device: DeviceSpec,
+    engine: str | None = None,
+    in_channels: int = 3,
+) -> float:
+    """Modeled conv time of one epoch (``steps`` minibatches) in ms.
+
+    Each layer runs on its own configured engine (respecting the §5.7
+    stride dispatch); pass ``engine`` to override for every layer.
+    """
+    total = 0.0
+    for layer, ih, iw, _, _ in conv_layer_geometries(model, (batch, image, image, in_channels)):
+        shape = _layer_shape(layer, ih, iw, batch)
+        fwd = _forward_time_ms(shape, engine if engine is not None else layer.engine, device)
+        wgrad = estimate_cudnn_gemm(shape, device).time_ms  # GEMM in both engines
+        total += 2.0 * fwd + wgrad  # fwd + data-grad (~= fwd, §5.1) + wgrad
+    return total * steps
+
+
+def modeled_training_acceleration(
+    model_winograd: Module,
+    model_gemm: Module,
+    *,
+    image: int,
+    batch: int,
+    device: DeviceSpec,
+    in_channels: int = 3,
+) -> float:
+    """Acceleration of the first model over the second (conv time).
+
+    Both models must have identical topology; each layer is priced on its
+    own configured engine, so a strided layer costs GEMM on both sides.
+    """
+    t_w = modeled_epoch_conv_time_ms(
+        model_winograd, image=image, batch=batch, steps=1,
+        device=device, in_channels=in_channels,
+    )
+    t_g = modeled_epoch_conv_time_ms(
+        model_gemm, image=image, batch=batch, steps=1,
+        device=device, in_channels=in_channels,
+    )
+    return t_g / t_w

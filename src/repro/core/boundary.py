@@ -1,0 +1,119 @@
+"""Boundary treatment (§5.5): split OW across kernels instead of masking.
+
+Each ``Gamma_alpha(n, r)`` output tile spans ``n`` columns.  When
+``OW % n != 0`` the tiles cannot exactly cover the ofms; conditional masking
+would waste registers and compute (for OW=7 under Gamma_8(6,3), 5/6 of the
+second tile's work is redundant).  The paper instead divides the ofms into
+disjoint width segments, each handled by a different kernel: the fastest
+kernel takes the largest prefix its coverage divides, smaller-coverage
+kernels take the remainders, and a GEMM kernel mops up the final sliver
+(Figure 7's ``Gamma_8(6,3) -> Gamma_4^ruse(2,3) -> Gamma_4(2,3) -> GEMM``
+chain for FW=3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .kernels import KernelId, kernels_for_width
+
+__all__ = ["Segment", "plan_width_segments", "segment_chain", "redundant_fraction"]
+
+#: Marker used for the GEMM tail segment.
+GEMM = "GEMM"
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One width segment of the ofms assigned to one kernel.
+
+    ``kernel`` is a :class:`KernelId` or the string ``"GEMM"`` for the tail.
+    The segment covers output columns ``[start, start + width)``.
+    """
+
+    kernel: KernelId | str
+    start: int
+    width: int
+
+    @property
+    def is_gemm(self) -> bool:
+        return self.kernel == GEMM
+
+    @property
+    def name(self) -> str:
+        return GEMM if self.is_gemm else self.kernel.name  # type: ignore[union-attr]
+
+
+def segment_chain(r: int, primary: KernelId | None = None) -> list[KernelId]:
+    """Kernel chain for filter width ``r``, in assignment order.
+
+    The chain is the registered kernels of width ``r`` ordered by coverage
+    (descending), de-duplicated by coverage so each stage strictly shrinks
+    the remainder.  If ``primary`` is given it is forced to the front (the
+    caller's preferred kernel leads, per "the faster kernel has a higher
+    priority").
+    """
+    chain = kernels_for_width(r, include_extended=True)
+    if primary is not None:
+        if primary.r != r:
+            raise ValueError(f"primary kernel width {primary.r} != requested width {r}")
+        chain = [primary] + [k for k in chain if k.spec.coverage < primary.spec.coverage]
+    seen: set[int] = set()
+    out: list[KernelId] = []
+    for k in chain:
+        cov = k.spec.coverage
+        if cov not in seen:
+            seen.add(cov)
+            out.append(k)
+    return out
+
+
+def plan_width_segments(ow: int, r: int, primary: KernelId | None = None) -> list[Segment]:
+    """Assign every output column to a kernel (Figure 7).
+
+    Parameters
+    ----------
+    ow:
+        Output width to cover.
+    r:
+        Filter width (selects the kernel chain).
+    primary:
+        Optional preferred leading kernel (e.g. the planner's pick).
+
+    Returns
+    -------
+    Disjoint, sorted :class:`Segment` list exactly covering ``[0, ow)``.
+    Each Winograd segment's width is divisible by its kernel's coverage; a
+    GEMM segment (width < smallest coverage) may terminate the list.
+    """
+    if ow < 1:
+        raise ValueError(f"ow must be >= 1, got {ow}")
+    segments: list[Segment] = []
+    start = 0
+    remaining = ow
+    for kernel in segment_chain(r, primary):
+        cov = kernel.spec.coverage
+        take = remaining - remaining % cov
+        if take > 0:
+            segments.append(Segment(kernel=kernel, start=start, width=take))
+            start += take
+            remaining -= take
+        if remaining == 0:
+            break
+    if remaining > 0:
+        segments.append(Segment(kernel=GEMM, start=start, width=remaining))
+    return segments
+
+
+def redundant_fraction(ow: int, n: int) -> float:
+    """Wasted-work fraction of conditional masking (the rejected design).
+
+    With masking, ``ceil(OW / n)`` tiles each cost ``n`` columns of work but
+    only ``OW`` columns are useful; the paper's example: OW=7, n=6 wastes
+    5/12 of total tile work (5/6 of the second tile).  Returned as the
+    fraction of *total* tile work that is redundant.
+    """
+    if ow < 1 or n < 1:
+        raise ValueError("ow and n must be >= 1")
+    tiles = -(-ow // n)
+    return (tiles * n - ow) / (tiles * n)

@@ -1,0 +1,65 @@
+"""A priori FP error prediction for Winograd schemes (§6.2.2's argument).
+
+The paper explains Experiment 2's accuracy gap qualitatively: "with the
+increase of alpha, the items in transform matrices of F(n, r) exhibit a
+larger disparity in their magnitudes.  Such disparity can negatively impact
+accuracy, when it surpasses the precision of a specific datatype."  This
+module makes the argument quantitative with a standard forward-error bound:
+
+For ``y = A^T[(G w) ⊙ (D^T x)]`` evaluated in a dtype with unit roundoff
+``u``, each stage is a short dot product whose error is bounded by the
+stage's *magnification factor* — the row-wise sum of absolute entries
+(infinity-norm style).  Chaining the three stages gives
+
+.. math::
+
+    |err| \\lesssim u \\cdot \\|A^T\\|_\\infty \\cdot \\|G\\|_\\infty
+                 \\cdot \\|D^T\\|_\\infty
+
+relative to the naive product of magnitudes — a classic Winograd
+error-growth proxy.  :func:`predicted_error_scale` returns this proxy;
+:func:`error_amplification` normalises it against direct convolution so the
+schemes can be ranked.  The test suite checks the *ranking* against errors
+measured on real data (the bound itself is loose by design).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .transforms import winograd_matrices
+
+__all__ = ["predicted_error_scale", "error_amplification", "rank_schemes"]
+
+
+def _inf_norm(matrix: np.ndarray) -> float:
+    """Max row-sum of absolute values."""
+    return float(np.abs(matrix).sum(axis=1).max())
+
+
+def predicted_error_scale(n: int, r: int, *, dtype=np.float32) -> float:
+    """Forward-error proxy of ``F(n, r)`` in ``dtype``.
+
+    ``u * ||A^T||_inf * ||G||_inf * ||D^T||_inf`` — the unit roundoff scaled
+    by the worst-case magnification of the three transform stages.
+    """
+    m = winograd_matrices(n, r, dtype="float64")
+    u = float(np.finfo(dtype).eps) / 2
+    return u * _inf_norm(m.AT) * _inf_norm(m.G) * _inf_norm(m.DT)
+
+
+def error_amplification(n: int, r: int) -> float:
+    """Error of ``F(n, r)`` relative to direct convolution's.
+
+    Direct convolution's dot product of length ``r`` magnifies roundoff by
+    ~``r``; the ratio strips the dtype and leaves a pure scheme property —
+    1.0 means "as accurate as direct".
+    """
+    m = winograd_matrices(n, r, dtype="float64")
+    winograd = _inf_norm(m.AT) * _inf_norm(m.G) * _inf_norm(m.DT)
+    return winograd / r
+
+
+def rank_schemes(schemes: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Order schemes from most to least accurate (predicted)."""
+    return sorted(schemes, key=lambda nr: error_amplification(*nr))

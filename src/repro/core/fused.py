@@ -1,0 +1,228 @@
+"""The fused Im2col-Winograd convolution ``Gamma_alpha(n, r)``.
+
+This is the paper's primary contribution (§4.1), expressed as vectorised
+NumPy.  The two stages are:
+
+Stage 1 (Im2col)
+    A pure index mapping from the NHWC ifms to the GEMM operand layout; it is
+    never materialised — the tile gather in :mod:`repro.nhwc.tiles` reads the
+    ifms through the same index arithmetic the CUDA kernels encode in their
+    load addresses, which is what makes the algorithm "fused": zero auxiliary
+    global workspace.
+
+Stage 2 (Winograd)
+    For each ``n``-wide output tile, 1D Winograd ``F(n, r)`` is applied to
+    every ``(fh, ic)`` 1D convolution and *accumulated in the transform
+    domain*: because the output transform ``A^T`` is linear, the kernel keeps
+    ``alpha`` running states per tile (the 64-element ``accumulator`` of
+    Algorithms 1/2) and applies ``A^T`` exactly once at the end::
+
+        acc[k] = sum_{fh, ic} (G w[oc, fh, :, ic])[k] * (D^T x_tile[fh, ic])[k]
+        y[tile] = A^T acc
+
+    The channel loop is blocked by ``BK`` columns (the cache-blocking of
+    §5.1); on the GPU the block size is 8 — here it is a tunable that bounds
+    the gathered-tile buffer exactly like SMEM bounds the CUDA version.
+
+Boundary columns are handled by the §5.5 segmentation: the planner splits OW
+into kernel-owned segments plus a GEMM tail, and this module runs each
+segment independently (no masking, no redundant flops).
+
+Only unit stride is supported, as in the paper; strided convolutions belong
+to the GEMM path (see :mod:`repro.core.planner`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nhwc.tensor import conv_output_size, im2col_nhwc
+from ..nhwc.tiles import extract_width_tiles
+from .boundary import Segment, plan_width_segments
+from .kernels import KernelId, default_alpha_for_width, get_kernel
+from .transforms import TransformMatrices, winograd_matrices
+
+__all__ = ["conv2d_im2col_winograd", "winograd_segment", "gemm_segment"]
+
+#: Channel-block depth mirroring the kernels' BK-blocked IC loop.  On the GPU
+#: BK=8 bounds SMEM; here a larger block amortises Python overhead while still
+#: bounding the gathered-tile buffer.
+DEFAULT_BLOCK_IC = 64
+
+
+def conv2d_im2col_winograd(
+    x: np.ndarray,
+    w: np.ndarray,
+    *,
+    ph: int | None = None,
+    pw: int | None = None,
+    alpha: int | None = None,
+    variant: str = "base",
+    dtype: np.dtype | type = np.float32,
+    block_ic: int = DEFAULT_BLOCK_IC,
+) -> np.ndarray:
+    """Unit-stride 2D convolution via fused Im2col-Winograd.
+
+    Parameters
+    ----------
+    x:
+        ifms ``(N, IH, IW, IC)``, NHWC.
+    w:
+        Filters ``(OC, FH, FW, IC)``.
+    ph, pw:
+        Zero padding; defaults to the paper's standard ``⌊r/2⌋`` on each axis
+        (``r`` the respective filter extent).  The kernels are specialised
+        for ``pw <= ⌊FW/2⌋`` (§5.1) but remain correct for any ``pw < FW``
+        thanks to the implicit-padding tile gather.
+    alpha:
+        Winograd state count (4, 8 or 16).  Defaults to the per-width choice
+        of :func:`repro.core.kernels.default_alpha_for_width`.
+    variant:
+        ``"base"``, ``"ruse"`` or ``"c64"`` — numerically identical (§5.4/
+        §5.6 change blocking, not arithmetic); accepted so callers can keep a
+        single code path with the performance model.
+    dtype:
+        Computation dtype (``float32`` matches the paper's kernels).
+    block_ic:
+        Channel block depth of the accumulation loop.
+
+    Returns
+    -------
+    ofms ``(N, OH, OW, OC)`` in ``dtype``.
+    """
+    if x.ndim != 4 or w.ndim != 4:
+        raise ValueError(f"expected 4D x and w, got ndim {x.ndim} and {w.ndim}")
+    if x.shape[3] != w.shape[3]:
+        raise ValueError(f"channel mismatch: input IC={x.shape[3]}, filter IC={w.shape[3]}")
+    oc, fh, fw, ic = w.shape
+    if ph is None:
+        ph = fh // 2
+    if pw is None:
+        pw = fw // 2
+    if not (0 <= pw < fw and 0 <= ph < fh) and (fh > 1 or fw > 1):
+        # pw >= fw would create all-zero leading tiles; supported by GEMM only.
+        raise ValueError(f"padding (ph={ph}, pw={pw}) must satisfy 0 <= p < filter extent")
+    if alpha is None:
+        alpha = default_alpha_for_width(fw)
+    if np.dtype(dtype) == np.float16 and alpha == 16:
+        # §6.2.2 taken to its limit: F(n, r) transform entries reach 1.6e4
+        # at alpha=16, past half precision's usable range — results would be
+        # numerically meaningless (alpha in {4, 8} stays within ~1e-2..1e-3
+        # relative error and is supported).
+        raise ValueError(
+            "alpha=16 is not representable in float16 (transform-matrix "
+            "magnitude disparity, see §6.2.2); use alpha<=8 or float32"
+        )
+    primary = get_kernel(alpha, fw, variant)
+
+    x = np.asarray(x, dtype=dtype)
+    w = np.asarray(w, dtype=dtype)
+    n_, ih, iw, _ = x.shape
+    oh = conv_output_size(ih, fh, ph)
+    ow = conv_output_size(iw, fw, pw)
+    if oh < 1 or ow < 1:
+        raise ValueError(f"empty output {oh}x{ow}")
+
+    y = np.empty((n_, oh, ow, oc), dtype=dtype)
+    for seg in plan_width_segments(ow, fw, primary=primary):
+        if seg.is_gemm:
+            y[:, :, seg.start : seg.start + seg.width, :] = gemm_segment(
+                x, w, seg, ph=ph, pw=pw, oh=oh
+            )
+        else:
+            y[:, :, seg.start : seg.start + seg.width, :] = winograd_segment(
+                x, w, seg, ph=ph, pw=pw, oh=oh, block_ic=block_ic
+            )
+    return y
+
+
+def winograd_segment(
+    x: np.ndarray,
+    w: np.ndarray,
+    seg: Segment,
+    *,
+    ph: int,
+    pw: int,
+    oh: int,
+    block_ic: int = DEFAULT_BLOCK_IC,
+    mats: TransformMatrices | None = None,
+) -> np.ndarray:
+    """Compute one Winograd-owned output segment.
+
+    Implements the accumulator workflow of Algorithms 1/2: per filter row and
+    channel block, gather + input-transform the tiles, filter-transform the
+    weights, fuse the elementwise products into the ``alpha``-state
+    accumulator; output-transform once at the end.
+
+    Returns the segment's ofms slice ``(N, OH, seg.width, OC)``.
+    """
+    kernel: KernelId = seg.kernel  # type: ignore[assignment]
+    spec = kernel.spec
+    n_out, r, alpha = spec.n, spec.r, spec.alpha
+    if seg.width % n_out != 0:
+        raise ValueError(f"segment width {seg.width} not divisible by n={n_out}")
+    num_tiles = seg.width // n_out
+    batch = x.shape[0]
+    oc, fh, fw, ic = w.shape
+    if mats is None:
+        mats = winograd_matrices(n_out, r, dtype=x.dtype.name)
+
+    # Filter transform: U[fh, k, icb, oc] = sum_p G[k, p] * w[oc, fh, p, ic].
+    # Computed once for the whole segment (the kernels re-derive it per
+    # iteration from SMEM; the arithmetic is identical).
+    u_all = np.einsum("kp,ofpi->fkio", mats.G, w, optimize=True)
+    u_all = np.ascontiguousarray(u_all)  # (FH, alpha, IC, OC)
+
+    # Accumulator: alpha states per (batch*oh*tile, oc) — the register file.
+    m = np.zeros((alpha, batch * oh * num_tiles, oc), dtype=x.dtype)
+    for f in range(fh):
+        tiles = extract_width_tiles(
+            x,
+            fh_offset=f,
+            ow_start=seg.start,
+            num_tiles=num_tiles,
+            n=n_out,
+            alpha=alpha,
+            ph=ph,
+            pw=pw,
+            oh=oh,
+        )  # (N, OH, T, alpha, IC) view
+        for c0 in range(0, ic, block_ic):
+            c1 = min(c0 + block_ic, ic)
+            blk = np.ascontiguousarray(tiles[..., c0:c1])  # (N, OH, T, alpha, Cb)
+            # Input transform: V[k, ...] = sum_a DT[k, a] * blk[..., a, :].
+            v = np.einsum("ka,nhtac->knhtc", mats.DT, blk, optimize=True)
+            v = v.reshape(alpha, batch * oh * num_tiles, c1 - c0)
+            # Elementwise product in the transform domain, summed over the
+            # channel block: batched (per-state) GEMM, i.e. the 8x(8x8)
+            # outer-product stage.
+            m += v @ u_all[f, :, c0:c1, :]
+    # Output transform, once: y[j] = sum_k AT[j, k] m[k].
+    y = np.einsum("jk,kmo->mjo", mats.AT, m, optimize=True)
+    # (batch*oh*T, n, oc) -> (N, OH, T*n, OC)
+    return y.reshape(batch, oh, num_tiles * n_out, oc)
+
+
+def gemm_segment(
+    x: np.ndarray, w: np.ndarray, seg: Segment, *, ph: int, pw: int, oh: int
+) -> np.ndarray:
+    """Compute the GEMM tail segment (§5.5: "GEMM convolution processes the
+    final remaining segment that Im2col-Winograd can not cover").
+
+    Only the ``seg.width`` needed output columns are produced: the input
+    slice feeding them is ``[seg.start - pw, seg.start - pw + width + fw - 1)``
+    in unpadded coordinates, gathered with implicit zero padding.
+    """
+    batch, ih, iw, ic = x.shape
+    oc, fh, fw, _ = w.shape
+    col_lo = seg.start - pw
+    need = seg.width + fw - 1
+    src_c0 = max(col_lo, 0)
+    src_c1 = min(col_lo + need, iw)
+    strip = np.zeros((batch, ih, need, ic), dtype=x.dtype)
+    if src_c0 < src_c1:
+        strip[:, :, src_c0 - col_lo : src_c1 - col_lo, :] = x[:, :, src_c0:src_c1, :]
+    cols = im2col_nhwc(strip, fh, fw, ph, 0)  # width already materialised
+    a = np.ascontiguousarray(w.transpose(1, 2, 3, 0).reshape(fh * fw * ic, oc))
+    y = cols @ a
+    return y.reshape(batch, oh, seg.width, oc)

@@ -1,0 +1,171 @@
+"""Inference-optimised convolution: pre-transformed filters.
+
+§6.1.2: "To further improve speed, filters can be pre-transposed before
+using CNNs for evaluation or prediction."  In this NumPy implementation the
+analogous win is pre-computing the *filter transform* ``U = G w`` (and the
+boundary plan) once, instead of per call — exactly what an inference engine
+does when it freezes a model.
+
+:class:`PlannedConv2D` binds filters + geometry at construction:
+
+* plans the §5.5 boundary segmentation for the given output width,
+* pre-computes ``U`` per Winograd segment kernel (and the folded GEMM
+  operand for the tail),
+* then applies the convolution to any batch of matching ifms.
+
+Numerics are identical to :func:`repro.core.fused.conv2d_im2col_winograd`
+(same transforms, same accumulation order) — asserted in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nhwc.tensor import conv_output_size
+from ..nhwc.tiles import extract_width_tiles
+from .boundary import Segment, plan_width_segments
+from .fused import DEFAULT_BLOCK_IC
+from .kernels import default_alpha_for_width, get_kernel
+from .transforms import TransformMatrices, winograd_matrices
+
+__all__ = ["PlannedConv2D"]
+
+
+class PlannedConv2D:
+    """A convolution with frozen filters and pre-computed transforms.
+
+    Parameters
+    ----------
+    w:
+        Filters ``(OC, FH, FW, IC)``; copied and transformed at construction.
+    iw:
+        Input width the plan is built for (the boundary segmentation depends
+        on ``OW``; inputs of other widths raise).
+    ph, pw:
+        Padding (defaults ``f // 2``).
+    alpha, variant:
+        Kernel selection, as in the functional API.
+    dtype:
+        Computation dtype.
+    """
+
+    def __init__(
+        self,
+        w: np.ndarray,
+        iw: int,
+        *,
+        ph: int | None = None,
+        pw: int | None = None,
+        alpha: int | None = None,
+        variant: str = "base",
+        dtype: np.dtype | type = np.float32,
+        block_ic: int = DEFAULT_BLOCK_IC,
+    ) -> None:
+        if w.ndim != 4:
+            raise ValueError(f"expected 4D filters, got ndim {w.ndim}")
+        self.w = np.asarray(w, dtype=dtype)
+        oc, fh, fw, ic = self.w.shape
+        self.ph = fh // 2 if ph is None else ph
+        self.pw = fw // 2 if pw is None else pw
+        if not 0 <= self.pw < fw:
+            raise ValueError(f"pw={self.pw} must satisfy 0 <= pw < FW={fw}")
+        self.iw = iw
+        self.ow = conv_output_size(iw, fw, self.pw)
+        if self.ow < 1:
+            raise ValueError(f"empty output width for iw={iw}, fw={fw}, pw={self.pw}")
+        self.block_ic = block_ic
+        if alpha is None:
+            alpha = default_alpha_for_width(fw)
+        primary = get_kernel(alpha, fw, variant)
+        self.segments: list[Segment] = plan_width_segments(self.ow, fw, primary=primary)
+
+        # Pre-transform filters per distinct Winograd scheme in the plan.
+        self._mats: dict[tuple[int, int], TransformMatrices] = {}
+        self._u: dict[tuple[int, int], np.ndarray] = {}
+        for seg in self.segments:
+            if seg.is_gemm:
+                continue
+            spec = seg.kernel.spec  # type: ignore[union-attr]
+            key = (spec.n, spec.r)
+            if key in self._u:
+                continue
+            mats = winograd_matrices(spec.n, spec.r, dtype=np.dtype(dtype).name)
+            self._mats[key] = mats
+            self._u[key] = np.ascontiguousarray(
+                np.einsum("kp,ofpi->fkio", mats.G, self.w, optimize=True)
+            )
+        # Folded GEMM operand for the tail segment.
+        self._gemm_operand = np.ascontiguousarray(
+            self.w.transpose(1, 2, 3, 0).reshape(fh * fw * ic, oc)
+        )
+
+    @property
+    def transformed_filter_bytes(self) -> int:
+        """Memory held by the pre-computed transforms (the §6.1.2 trade)."""
+        return sum(u.nbytes for u in self._u.values())
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Convolve a batch ``(N, IH, iw, IC)`` with the frozen filters."""
+        oc, fh, fw, ic = self.w.shape
+        if x.ndim != 4:
+            raise ValueError(f"expected 4D input, got ndim {x.ndim}")
+        if x.shape[2] != self.iw:
+            raise ValueError(f"input width {x.shape[2]} != planned width {self.iw}")
+        if x.shape[3] != ic:
+            raise ValueError(f"channel mismatch: input {x.shape[3]}, filter {ic}")
+        x = np.asarray(x, dtype=self.w.dtype)
+        batch, ih, _, _ = x.shape
+        oh = conv_output_size(ih, fh, self.ph)
+        y = np.empty((batch, oh, self.ow, oc), dtype=self.w.dtype)
+        for seg in self.segments:
+            sl = slice(seg.start, seg.start + seg.width)
+            if seg.is_gemm:
+                y[:, :, sl, :] = self._gemm_tail(x, seg, oh)
+            else:
+                y[:, :, sl, :] = self._winograd_segment(x, seg, oh)
+        return y
+
+    def _winograd_segment(self, x: np.ndarray, seg: Segment, oh: int) -> np.ndarray:
+        spec = seg.kernel.spec  # type: ignore[union-attr]
+        n_out, r, alpha = spec.n, spec.r, spec.alpha
+        key = (n_out, r)
+        mats = self._mats[key]
+        u_all = self._u[key]
+        num_tiles = seg.width // n_out
+        batch = x.shape[0]
+        oc, fh, _, ic = self.w.shape
+        m = np.zeros((alpha, batch * oh * num_tiles, oc), dtype=x.dtype)
+        for f in range(fh):
+            tiles = extract_width_tiles(
+                x,
+                fh_offset=f,
+                ow_start=seg.start,
+                num_tiles=num_tiles,
+                n=n_out,
+                alpha=alpha,
+                ph=self.ph,
+                pw=self.pw,
+                oh=oh,
+            )
+            for c0 in range(0, ic, self.block_ic):
+                c1 = min(c0 + self.block_ic, ic)
+                blk = np.ascontiguousarray(tiles[..., c0:c1])
+                v = np.einsum("ka,nhtac->knhtc", mats.DT, blk, optimize=True)
+                v = v.reshape(alpha, batch * oh * num_tiles, c1 - c0)
+                m += v @ u_all[f, :, c0:c1, :]
+        out = np.einsum("jk,kmo->mjo", mats.AT, m, optimize=True)
+        return out.reshape(batch, oh, num_tiles * n_out, oc)
+
+    def _gemm_tail(self, x: np.ndarray, seg: Segment, oh: int) -> np.ndarray:
+        from ..nhwc.tensor import im2col_nhwc
+
+        oc, fh, fw, ic = self.w.shape
+        batch, ih, iw, _ = x.shape
+        col_lo = seg.start - self.pw
+        need = seg.width + fw - 1
+        src0, src1 = max(col_lo, 0), min(col_lo + need, iw)
+        strip = np.zeros((batch, ih, need, ic), dtype=x.dtype)
+        if src0 < src1:
+            strip[:, :, src0 - col_lo : src1 - col_lo, :] = x[:, :, src0:src1, :]
+        cols = im2col_nhwc(strip, fh, fw, self.ph, 0)
+        return (cols @ self._gemm_operand).reshape(batch, oh, seg.width, oc)

@@ -1,0 +1,104 @@
+"""Convolution planner: algorithm + kernel selection for one problem.
+
+Mirrors the dispatch described in §5.7: Dragon-Alpha employs Im2col-Winograd
+for unit-stride convolution and deconvolution, "while other algorithms handle
+the non-unit-stride cases".  Given a :class:`repro.nhwc.tensor.ConvShape`,
+the planner decides
+
+* whether the Winograd path applies at all (unit stride, supported width,
+  padding within the kernels' envelope),
+* which ``alpha`` / variant to lead with (ruse when the §5.4 rule fires,
+  c64 when channels are multiples of 64 and alpha is 16, per §5.6),
+* the §5.5 boundary segmentation of OW.
+
+The plan is a plain data object consumed both by the execution path
+(:func:`repro.core.fused.conv2d_im2col_winograd`) and by the GPU performance
+model, so "what we run" and "what we cost" can never drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..nhwc.tensor import ConvShape
+from .boundary import Segment, plan_width_segments
+from .kernels import KernelId, default_alpha_for_width, get_kernel, supported_filter_widths
+from .variants import ruse_profitable
+
+__all__ = ["ConvPlan", "plan_convolution"]
+
+
+@dataclass(frozen=True)
+class ConvPlan:
+    """Execution plan for one convolution problem.
+
+    ``algorithm`` is ``"im2col-winograd"`` or ``"gemm"``; in the former case
+    ``primary`` names the leading kernel and ``segments`` the full §5.5
+    decomposition of OW.
+    """
+
+    shape: ConvShape
+    algorithm: str
+    primary: KernelId | None = None
+    segments: tuple[Segment, ...] = field(default_factory=tuple)
+    reason: str = ""
+
+    @property
+    def winograd_fraction(self) -> float:
+        """Fraction of output columns owned by Winograd kernels (not GEMM)."""
+        if self.algorithm != "im2col-winograd":
+            return 0.0
+        covered = sum(s.width for s in self.segments if not s.is_gemm)
+        return covered / self.shape.ow
+
+
+def plan_convolution(
+    shape: ConvShape,
+    *,
+    alpha: int | None = None,
+    variant: str | None = None,
+) -> ConvPlan:
+    """Choose algorithm, kernel and boundary segmentation for ``shape``.
+
+    Parameters
+    ----------
+    shape:
+        The convolution problem.
+    alpha:
+        Force a state count (4, 8, 16); default follows
+        :func:`repro.core.kernels.default_alpha_for_width`.
+    variant:
+        Force ``"base"`` / ``"ruse"`` / ``"c64"``; default applies the
+        paper's selection rules.
+
+    Returns
+    -------
+    A :class:`ConvPlan`.  Falls back to GEMM (with a human-readable
+    ``reason``) whenever the Winograd envelope is violated.
+    """
+    r = shape.fw
+    if shape.stride != 1:
+        return ConvPlan(shape, "gemm", reason=f"stride {shape.stride} != 1")
+    widths = supported_filter_widths(include_extended=True)
+    if r not in widths:
+        return ConvPlan(shape, "gemm", reason=f"filter width {r} unsupported")
+    if shape.pw >= r or shape.ph >= shape.fh:
+        return ConvPlan(shape, "gemm", reason="padding exceeds filter extent")
+
+    a = alpha if alpha is not None else default_alpha_for_width(r)
+    if variant is None:
+        if a == 16 and shape.ic % 64 == 0 and shape.oc % 64 == 0:
+            variant = "c64"  # §5.6: channel sizes multiple of 64
+        elif ruse_profitable(a, r):
+            variant = "ruse"  # §5.4 threshold
+        else:
+            variant = "base"
+    primary = get_kernel(a, r, variant)
+    segments = tuple(plan_width_segments(shape.ow, r, primary=primary))
+    return ConvPlan(
+        shape,
+        "im2col-winograd",
+        primary=primary,
+        segments=segments,
+        reason=f"unit-stride width-{r} convolution",
+    )

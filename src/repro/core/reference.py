@@ -1,0 +1,75 @@
+"""Tile-loop reference implementation of ``Gamma_alpha(n, r)``.
+
+A deliberately naive transcription of the Algorithm 1/2 workflow: explicit
+Python loops over output rows, tiles, filter rows and channels, with the
+transform-domain accumulator spelled out per tile.  It exists to cross-check
+the vectorised :mod:`repro.core.fused` path on small shapes — the two share
+no gather/einsum machinery, so agreement is strong evidence both are right.
+Do not use it for anything large.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nhwc.tensor import conv_output_size
+from .transforms import winograd_matrices
+
+__all__ = ["conv2d_winograd_reference"]
+
+
+def conv2d_winograd_reference(
+    x: np.ndarray,
+    w: np.ndarray,
+    *,
+    n: int,
+    ph: int | None = None,
+    pw: int | None = None,
+    dtype: np.dtype | type = np.float32,
+) -> np.ndarray:
+    """Unit-stride Im2col-Winograd with explicit per-tile loops.
+
+    Parameters
+    ----------
+    x, w:
+        NHWC ifms and ``(OC, FH, FW, IC)`` filters.
+    n:
+        Winograd output-tile width (so ``alpha = n + FW - 1``).
+    ph, pw:
+        Padding (default ``⌊f/2⌋``).
+
+    The ragged tail (``OW % n`` columns) is computed by direct dot products —
+    equivalent to, but simpler than, the production boundary segmentation.
+    """
+    x = np.asarray(x, dtype=dtype)
+    w = np.asarray(w, dtype=dtype)
+    oc, fh, fw, ic = w.shape
+    batch, ih, iw, _ = x.shape
+    if ph is None:
+        ph = fh // 2
+    if pw is None:
+        pw = fw // 2
+    oh = conv_output_size(ih, fh, ph)
+    ow = conv_output_size(iw, fw, pw)
+    alpha = n + fw - 1
+    mats = winograd_matrices(n, fw, dtype=np.dtype(dtype).name)
+
+    xp = np.pad(x, ((0, 0), (ph, ph), (pw, pw), (0, 0)))
+    y = np.empty((batch, oh, ow, oc), dtype=dtype)
+    full = ow // n
+    for b in range(batch):
+        for o_row in range(oh):
+            for t in range(full):
+                col0 = t * n
+                acc = np.zeros((alpha, oc), dtype=dtype)
+                for f in range(fh):
+                    seg = xp[b, o_row + f, col0 : col0 + alpha, :]  # (alpha, IC)
+                    v = mats.DT @ seg  # (alpha, IC)
+                    for c in range(ic):
+                        u = mats.G @ w[:, f, :, c].T  # (alpha, OC)
+                        acc += v[:, c : c + 1] * u
+                y[b, o_row, col0 : col0 + n, :] = mats.AT @ acc
+            for j in range(full * n, ow):  # ragged tail: direct
+                window = xp[b, o_row : o_row + fh, j : j + fw, :]
+                y[b, o_row, j, :] = np.einsum("abc,oabc->o", window, w)
+    return y

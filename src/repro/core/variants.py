@@ -1,0 +1,199 @@
+"""Kernel variant descriptors: base, ``ruse`` (§5.4) and ``c64`` (§5.6).
+
+A *variant* fixes the cache-blocking and per-thread workload of a
+``Gamma_alpha(n, r)`` kernel.  The quantities below are taken directly from
+the paper:
+
+* Every block has ``16 x 16`` threads and iterates ``FH * IC / BK`` times.
+* ``BK = 8`` for all alpha; ``BN x BM`` is ``64 x 64`` (alpha=4), ``64 x 32``
+  (alpha=8), ``32 x 32`` (alpha=16) (§5.1).
+* SMEM per block is ``4 * alpha * (BN + BM) * BK`` bytes; alpha in {4, 8}
+  leaves room for double buffering (§5.1).
+* Arithmetic intensity (operation/byte): ``256 / (alpha + r)`` for the base
+  kernels, ``512 / (alpha + 2r)`` for ``c64`` and ``512 / (alpha + 2r + n)``
+  for ``ruse`` (§5.6) — e.g. Gamma_16^c64(8,9) reaches 15.06 op/B, 47.1%
+  above base and 23.5% above ruse.
+* ``ruse`` merges two threads into one: threads per block halve to
+  ``16 x 8``, registers per thread double, the outer-product scale grows from
+  ``8x(8x8)`` to ``8x(16x8)``, and the average load cost per input tile drops
+  from ``alpha`` items to ``alpha - (r-1)/2`` (§5.4).  It pays off when
+  ``(r - 1) / alpha >= 0.4375``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+__all__ = [
+    "Variant",
+    "VariantSpec",
+    "variant_spec",
+    "arithmetic_intensity",
+    "input_items_per_tile",
+    "ruse_profitable",
+    "RUSE_THRESHOLD",
+]
+
+#: ``(r - 1) / alpha`` threshold above which the ruse variant wins (§5.4).
+RUSE_THRESHOLD = Fraction(7, 16)  # 0.4375
+
+_VALID_VARIANTS = ("base", "ruse", "c64")
+Variant = str  # one of _VALID_VARIANTS
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """Resolved blocking parameters of one kernel variant.
+
+    Attributes
+    ----------
+    alpha, n, r:
+        Winograd scheme parameters (``alpha = n + r - 1``).
+    variant:
+        ``"base"``, ``"ruse"`` or ``"c64"``.
+    bn, bm, bk:
+        Cache-block size: filter tiles x input tiles x channel depth per
+        iteration.
+    threads:
+        Threads per block.
+    double_buffered:
+        Whether the SMEM tile buffers are double-buffered (alpha in {4, 8}).
+    smem_bytes:
+        SMEM required per block (including the double buffer when present).
+    regs_per_thread:
+        Register estimate per thread (64 accumulators + addressing/tiles;
+        ruse doubles it).
+    outer_product:
+        ``(k, m, n)`` shape of the per-thread-group outer-product unit.
+    coverage:
+        Output columns consumed per tile step along OW (``n``; ``2n`` when a
+        ruse thread owns two adjacent tiles, which is how the Figure 7 chain
+        gets its "divisible by 4" Gamma_4^ruse(2,3) stage).
+    """
+
+    alpha: int
+    n: int
+    r: int
+    variant: Variant
+    bn: int
+    bm: int
+    bk: int
+    threads: int
+    double_buffered: bool
+    smem_bytes: int
+    regs_per_thread: int
+    outer_product: tuple[int, int, int]
+    coverage: int
+
+    @property
+    def name(self) -> str:
+        suffix = "" if self.variant == "base" else f"^{self.variant}"
+        return f"Gamma{suffix}_{self.alpha}({self.n},{self.r})"
+
+    @property
+    def intensity(self) -> float:
+        """Arithmetic intensity in operation/byte (§5.6 formulas)."""
+        return arithmetic_intensity(self.alpha, self.n, self.r, self.variant)
+
+
+#: Base ``BN x BM`` per alpha (§5.1).  BK is 8 throughout.
+_BASE_BLOCKS: dict[int, tuple[int, int]] = {4: (64, 64), 8: (64, 32), 16: (32, 32)}
+
+#: Max SMEM per block on the paper's GPUs (§4.1).
+MAX_SMEM_PER_BLOCK = 49152
+
+
+def arithmetic_intensity(alpha: int, n: int, r: int, variant: Variant = "base") -> float:
+    """Operation/byte of one cache-block iteration (§5.6).
+
+    base: ``256 / (alpha + r)``;  c64: ``512 / (alpha + 2r)``;
+    ruse: ``512 / (alpha + 2r + n)``.
+    """
+    if variant == "base":
+        return 256.0 / (alpha + r)
+    if variant == "c64":
+        return 512.0 / (alpha + 2 * r)
+    if variant == "ruse":
+        return 512.0 / (alpha + 2 * r + n)
+    raise ValueError(f"unknown variant {variant!r}")
+
+
+def input_items_per_tile(alpha: int, r: int, variant: Variant = "base") -> float:
+    """Average global-memory items loaded per input tile (§5.4).
+
+    The ruse variant reuses the ``r - 1`` overlap between the two tiles a
+    merged thread owns, dropping the cost from ``alpha`` to
+    ``alpha - (r - 1) / 2``.
+    """
+    if variant == "ruse":
+        return alpha - (r - 1) / 2.0
+    return float(alpha)
+
+
+def ruse_profitable(alpha: int, r: int) -> bool:
+    """Paper's empirical rule: ruse wins iff ``(r-1)/alpha >= 0.4375`` (§5.4)."""
+    return Fraction(r - 1, alpha) >= RUSE_THRESHOLD
+
+
+def variant_spec(alpha: int, n: int, r: int, variant: Variant = "base") -> VariantSpec:
+    """Resolve the full blocking description of ``Gamma_alpha^{variant}(n, r)``.
+
+    Raises
+    ------
+    ValueError
+        For inconsistent ``(alpha, n, r)``, unknown variants, or variants the
+        paper does not define for the given alpha (``c64`` exists only for
+        alpha=16, where 16 KiB of SMEM headroom remains; ``ruse`` for alpha in
+        {4, 8, 16}).
+    """
+    if variant not in _VALID_VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; expected one of {_VALID_VARIANTS}")
+    if alpha not in _BASE_BLOCKS:
+        raise ValueError(f"alpha must be one of {sorted(_BASE_BLOCKS)}, got {alpha}")
+    if n + r - 1 != alpha:
+        raise ValueError(f"n + r - 1 = {n + r - 1} != alpha = {alpha}")
+    if n < 2:
+        raise ValueError(f"n must be >= 2 (got {n}); r too large for alpha={alpha}")
+    if variant == "c64" and alpha != 16:
+        raise ValueError("c64 variant is only defined for alpha=16 (16 KiB SMEM headroom)")
+
+    bn, bm = _BASE_BLOCKS[alpha]
+    threads = 16 * 16
+    regs = 96  # 64 accumulators + tiles/addressing
+    outer = (8, 8, 8)
+    coverage = n
+
+    if variant == "c64":
+        bn = 64  # §5.6: BNxBMxBK widened from 32x32x8 to 64x32x8
+    elif variant == "ruse":
+        threads = 16 * 8
+        regs = 2 * regs
+        outer = (8, 16, 8)
+        if alpha == 4:
+            # A Gamma_4 thread already owns 2 tiles; ruse pairs them so a
+            # thread covers 2n outputs (Figure 7's divisible-by-4 stage).
+            coverage = 2 * n
+
+    bk = 8
+    buffers = 2 if (alpha in (4, 8) and variant != "c64") else 1
+    smem = buffers * 4 * alpha * (bn + bm) * bk
+    if smem > MAX_SMEM_PER_BLOCK:
+        raise ValueError(
+            f"{alpha=} {variant=} needs {smem} B SMEM > {MAX_SMEM_PER_BLOCK} B limit"
+        )
+    return VariantSpec(
+        alpha=alpha,
+        n=n,
+        r=r,
+        variant=variant,
+        bn=bn,
+        bm=bm,
+        bk=bk,
+        threads=threads,
+        double_buffered=buffers == 2,
+        smem_bytes=smem,
+        regs_per_thread=regs,
+        outer_product=outer,
+        coverage=coverage,
+    )

@@ -1,0 +1,132 @@
+"""1D Winograd minimal filtering ``F(n, r)`` — the Stage-2 primitive.
+
+Im2col-Winograd decomposes an ND convolution into 1D convolutions and runs
+``F(n, r)`` on each (paper Section 4.1).  This module provides the 1D
+primitive in three granularities:
+
+* :func:`winograd_1d_tile` — a single tile, the textbook formula; used as the
+  readable specification and in property tests.
+* :func:`winograd_1d` — a full 1D correlation of arbitrary length, tiled with
+  stride ``n`` and a scalar tail; the boundary logic mirrors Section 5.5.
+* :func:`winograd_1d_batched` — vectorised over arbitrary leading batch axes;
+  this is the shape the fused kernel builds on.
+
+All functions compute *cross-correlation* (no filter flip), matching CNN
+convolution semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .transforms import TransformMatrices, winograd_matrices
+
+__all__ = [
+    "winograd_1d_tile",
+    "winograd_1d",
+    "winograd_1d_batched",
+    "multiplication_counts",
+]
+
+
+def winograd_1d_tile(x: np.ndarray, w: np.ndarray, n: int) -> np.ndarray:
+    """Apply ``F(n, r)`` to one input tile.
+
+    Parameters
+    ----------
+    x:
+        Input tile of length ``alpha = n + r - 1``.
+    w:
+        Filter of length ``r``.
+    n:
+        Number of outputs.
+
+    Returns
+    -------
+    Length-``n`` array ``y[j] = sum_k x[j+k] w[k]`` computed with
+    ``n + r - 1`` elementwise multiplications.
+    """
+    x = np.asarray(x)
+    w = np.asarray(w)
+    r = w.shape[-1]
+    alpha = n + r - 1
+    if x.shape[-1] != alpha:
+        raise ValueError(f"tile length {x.shape[-1]} != alpha {alpha} for F({n},{r})")
+    mats = winograd_matrices(n, r, dtype=x.dtype.name if x.dtype.kind == "f" else "float64")
+    return mats.AT @ ((mats.G @ w) * (mats.DT @ x))
+
+
+def winograd_1d(x: np.ndarray, w: np.ndarray, n: int) -> np.ndarray:
+    """Valid 1D cross-correlation via tiled ``F(n, r)``.
+
+    The output length is ``len(x) - r + 1``.  Full tiles are processed with
+    ``F(n, r)``; if the output length is not a multiple of ``n``, the ragged
+    tail is finished by direct dot products, mirroring the paper's
+    multi-kernel boundary treatment (Section 5.5) in miniature.
+    """
+    x = np.asarray(x)
+    w = np.asarray(w)
+    if x.ndim != 1 or w.ndim != 1:
+        raise ValueError("winograd_1d expects 1D input and filter")
+    r = w.shape[0]
+    out_len = x.shape[0] - r + 1
+    if out_len < 0:
+        raise ValueError(f"input length {x.shape[0]} shorter than filter {r}")
+    y = np.empty(out_len, dtype=x.dtype)
+    alpha = n + r - 1
+    full = out_len // n
+    for t in range(full):
+        y[t * n : (t + 1) * n] = winograd_1d_tile(x[t * n : t * n + alpha], w, n)
+    for j in range(full * n, out_len):
+        y[j] = x[j : j + r] @ w
+    return y
+
+
+def winograd_1d_batched(
+    tiles: np.ndarray, filters: np.ndarray, n: int, mats: TransformMatrices | None = None
+) -> np.ndarray:
+    """Apply ``F(n, r)`` to batches of tiles against batches of filters.
+
+    Parameters
+    ----------
+    tiles:
+        Array of shape ``(..., alpha)``: any number of leading batch axes.
+    filters:
+        Array of shape ``(..., r)`` broadcast-compatible with ``tiles``'s
+        leading axes.
+    n:
+        Output count per tile.
+    mats:
+        Pre-built transform matrices (avoids the cache lookup in hot loops).
+
+    Returns
+    -------
+    Array of shape ``broadcast(leading axes) + (n,)``.
+    """
+    tiles = np.asarray(tiles)
+    filters = np.asarray(filters)
+    r = filters.shape[-1]
+    alpha = n + r - 1
+    if tiles.shape[-1] != alpha:
+        raise ValueError(f"tile length {tiles.shape[-1]} != alpha {alpha} for F({n},{r})")
+    if mats is None:
+        dtype = np.result_type(tiles.dtype, filters.dtype)
+        mats = winograd_matrices(n, r, dtype=dtype.name)
+    v = tiles @ mats.DT.T  # (..., alpha)
+    u = filters @ mats.G.T  # (..., alpha)
+    return (v * u) @ mats.AT.T  # (..., n)
+
+
+def multiplication_counts(n: int, r: int) -> dict[str, int]:
+    """Elementwise-multiplication accounting for one ``F(n, r)`` tile.
+
+    Returns a dict with the Winograd elem-mul count (``alpha``), the standard
+    convolution count (``n * r``) and the reduction ratio the paper quotes
+    (``n*r / (n+r-1)``, e.g. 2.25 for both F(2x2,3x3) and Gamma_8(6,3)).
+    """
+    alpha = n + r - 1
+    return {
+        "winograd_muls": alpha,
+        "standard_muls": n * r,
+        "reduction": n * r / alpha,
+    }

@@ -1,0 +1,101 @@
+"""Workspace accounting: the memory-efficiency claim, quantified.
+
+The paper excludes cuDNN's Non_Fused_Winograd and FFT algorithms from its
+baseline set because "they require a much larger workspace" (§6.1.1), and
+motivates fusion with "fused-Winograd needs a much smaller workspace in
+global memory than the non-fused, which is beneficial for large models"
+(§3).  This module computes the global-memory workspace each algorithm
+needs for a given convolution, so that claim becomes a number:
+
+* **fused Im2col-Winograd** — zero: Stage 1 is an index mapping, Stage 2
+  lives in SMEM/registers (§4.1).
+* **non-fused 2D Winograd** — the transformed-domain matrices U, V, M
+  materialised in global memory: ``alpha^2`` scratch values per filter pair
+  / input tile / output tile.
+* **FFT convolution** — complex spectra of the padded ifms, filters and
+  product.
+* **explicit im2col GEMM** — the ``GM x GK`` column matrix (cuDNN's
+  *implicit* variant avoids it, which is exactly why it is the paper's
+  memory-comparable baseline; both entries are provided).
+"""
+
+from __future__ import annotations
+
+from ..nhwc.tensor import ConvShape
+
+__all__ = [
+    "workspace_fused_winograd",
+    "workspace_nonfused_winograd2d",
+    "workspace_fft",
+    "workspace_explicit_gemm",
+    "workspace_implicit_gemm",
+    "workspace_report",
+]
+
+_ITEM = 4  # FP32
+_COMPLEX = 8  # complex64
+
+
+def workspace_fused_winograd(shape: ConvShape) -> int:
+    """Global-memory workspace of the fused Gamma kernels: zero (§4.1)."""
+    return 0
+
+
+def workspace_implicit_gemm(shape: ConvShape) -> int:
+    """cuDNN Implicit_Precomp_GEMM: no materialised column matrix; its
+    'precomp' indices are negligible (one int per GK column)."""
+    return shape.fh * shape.fw * shape.ic * 4
+
+
+def workspace_explicit_gemm(shape: ConvShape) -> int:
+    """Explicit im2col: the full ``GM x GK`` column matrix."""
+    gm = shape.batch * shape.oh * shape.ow
+    gk = shape.fh * shape.fw * shape.ic
+    return gm * gk * _ITEM
+
+
+def workspace_nonfused_winograd2d(shape: ConvShape, m: int = 2) -> int:
+    """Non-fused F(m x m, r x r): U + V + M in global memory.
+
+    With ``alpha = m + r - 1`` and ``T = ceil(OH/m) * ceil(OW/m)`` tiles per
+    image:
+
+    * U (transformed filters):  ``alpha^2 * OC * IC``
+    * V (transformed inputs):   ``alpha^2 * N * T * IC``
+    * M (transform-domain product): ``alpha^2 * N * T * OC``
+
+    Requires square filters (the 2D scheme).
+    """
+    if shape.fh != shape.fw:
+        raise ValueError(f"2D Winograd needs square filters, got {shape.fh}x{shape.fw}")
+    alpha = m + shape.fh - 1
+    tiles = (-(-shape.oh // m)) * (-(-shape.ow // m))
+    u = alpha * alpha * shape.oc * shape.ic
+    v = alpha * alpha * shape.batch * tiles * shape.ic
+    mm = alpha * alpha * shape.batch * tiles * shape.oc
+    return (u + v + mm) * _ITEM
+
+
+def workspace_fft(shape: ConvShape) -> int:
+    """FFT convolution: complex spectra of padded ifms, filters, and the
+    accumulated product (rfft: ~half the spectrum retained)."""
+    fh = shape.ih + 2 * shape.ph
+    fw_ = shape.iw + 2 * shape.pw
+    spec = fh * (fw_ // 2 + 1)
+    x_spec = shape.batch * spec * shape.ic
+    w_spec = shape.oc * spec * shape.ic
+    y_spec = shape.batch * spec * shape.oc
+    return (x_spec + w_spec + y_spec) * _COMPLEX
+
+
+def workspace_report(shape: ConvShape) -> dict[str, int]:
+    """Workspace bytes per algorithm for one convolution problem."""
+    out = {
+        "fused-im2col-winograd": workspace_fused_winograd(shape),
+        "implicit-gemm": workspace_implicit_gemm(shape),
+        "explicit-gemm": workspace_explicit_gemm(shape),
+        "fft": workspace_fft(shape),
+    }
+    if shape.fh == shape.fw:
+        out["nonfused-winograd2d"] = workspace_nonfused_winograd2d(shape)
+    return out

@@ -1,0 +1,78 @@
+"""Dragon-Alpha analogue: a from-scratch DL framework over NumPy.
+
+Provides the Experiment-3 substrate: tape autograd, NHWC layers with a
+selectable convolution engine (Im2col-Winograd vs GEMM), SGDM/Adam, the
+paper's model zoo (VGG16/19/16x5/16x7, ResNet18/34), synthetic datasets and
+a trainer that records what Tables 4/5 and Figures 11/12 report.
+"""
+
+from .autograd import GRAD_ENABLED, Tensor, no_grad
+from .data import SyntheticImages, synthetic_cifar10, synthetic_ilsvrc
+from .initializers import kaiming_uniform, leaky_relu_gain
+from .layers import (
+    BatchNorm2D,
+    Conv2D,
+    Flatten,
+    GlobalAvgPool2D,
+    LeakyReLU,
+    Linear,
+    MaxPool2D,
+    Module,
+    Parameter,
+    Sequential,
+    add,
+)
+from .losses import accuracy, softmax, softmax_cross_entropy
+from .optim import Adam, Optimizer, SGDM
+from .serialization import (
+    load_state_dict,
+    load_weights,
+    save_weights,
+    state_dict,
+    weight_file_bytes,
+)
+from .trainer import (
+    TrainRecord,
+    Trainer,
+    conv_layer_geometries,
+    measure_training_memory,
+    smooth_losses,
+)
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "GRAD_ENABLED",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Conv2D",
+    "Linear",
+    "BatchNorm2D",
+    "LeakyReLU",
+    "MaxPool2D",
+    "GlobalAvgPool2D",
+    "Flatten",
+    "add",
+    "softmax",
+    "softmax_cross_entropy",
+    "accuracy",
+    "SGDM",
+    "Adam",
+    "Optimizer",
+    "kaiming_uniform",
+    "leaky_relu_gain",
+    "SyntheticImages",
+    "synthetic_cifar10",
+    "synthetic_ilsvrc",
+    "Trainer",
+    "TrainRecord",
+    "measure_training_memory",
+    "conv_layer_geometries",
+    "smooth_losses",
+    "state_dict",
+    "load_state_dict",
+    "save_weights",
+    "load_weights",
+    "weight_file_bytes",
+]

@@ -1,0 +1,250 @@
+"""Tape-based reverse-mode autograd — the Dragon-Alpha substrate.
+
+The paper integrates Im2col-Winograd into Dragon-Alpha, a tensor-computing
+framework the authors built (§5.7), and trains CNNs against PyTorch
+(Experiment 3).  This module is our from-scratch equivalent of the framework
+layer: a :class:`Tensor` records the operations applied to it; ``backward``
+replays them in reverse topological order.
+
+Design notes
+------------
+* Arrays are NumPy; the default training dtype is float32, like the paper's
+  FP32 pipeline.
+* Gradients accumulate with ``+=`` so fan-out (residual connections) works.
+* Ops are free functions returning new Tensors; layers in
+  :mod:`repro.dlframe.layers` compose them.  The convolution op is *not*
+  here — it dispatches through the engine choice (Winograd vs GEMM), which
+  is the experimental variable of Experiment 3, and lives in ``layers``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "GRAD_ENABLED"]
+
+
+class _GradMode:
+    """Process-wide autograd switch (a tiny torch.no_grad analogue)."""
+
+    enabled: bool = True
+
+
+GRAD_ENABLED = _GradMode()
+
+
+class no_grad:
+    """Context manager disabling tape recording (evaluation mode)."""
+
+    def __enter__(self) -> "no_grad":
+        self._prev = GRAD_ENABLED.enabled
+        GRAD_ENABLED.enabled = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        GRAD_ENABLED.enabled = self._prev
+
+
+class Tensor:
+    """An ndarray with an autograd tape entry.
+
+    Parameters
+    ----------
+    data:
+        Array (or scalar) holding the value.
+    requires_grad:
+        Whether gradients should flow to this tensor.
+    parents:
+        Tensors this one was computed from.
+    backward_fn:
+        Closure mapping the output gradient to a tuple of parent gradients
+        (``None`` for parents that need no gradient).
+    name:
+        Optional debug label.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        parents: tuple["Tensor", ...] = (),
+        backward_fn: Callable[[np.ndarray], tuple] | None = None,
+        name: str = "",
+    ) -> None:
+        self.data = np.asarray(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and GRAD_ENABLED.enabled
+        self._parents = parents if self.requires_grad else ()
+        self._backward_fn = backward_fn if self.requires_grad else None
+        self.name = name
+
+    # -- structural ---------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __repr__(self) -> str:
+        tag = f" name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.data.shape}, dtype={self.data.dtype}{tag})"
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # -- autograd ------------------------------------------------------------
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to 1 for scalar outputs (loss values); providing
+        it explicitly supports vector-Jacobian products.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without grad requires a scalar output")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            raise ValueError(f"grad shape {grad.shape} != tensor shape {self.data.shape}")
+
+        order = self._topological_order()
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in order:
+            g = grads.pop(id(node), None)
+            if g is None:
+                continue
+            if node.grad is None:
+                node.grad = g.copy()
+            else:
+                node.grad = node.grad + g
+            if node._backward_fn is None:
+                continue
+            parent_grads = node._backward_fn(g)
+            for parent, pg in zip(node._parents, parent_grads):
+                if pg is None or not parent.requires_grad:
+                    continue
+                pg = np.asarray(pg, dtype=parent.data.dtype)
+                if id(parent) in grads:
+                    grads[id(parent)] = grads[id(parent)] + pg
+                else:
+                    grads[id(parent)] = pg
+
+    def _topological_order(self) -> list["Tensor"]:
+        """Reverse topological order from self (self first)."""
+        seen: set[int] = set()
+        order: list[Tensor] = []
+
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if p.requires_grad and id(p) not in seen:
+                    stack.append((p, False))
+        return list(reversed(order))
+
+    # -- basic ops (enough for losses/metrics; layers use the free ops) -----
+    def __add__(self, other: "Tensor") -> "Tensor":
+        other = _as_tensor(other, self.dtype)
+        out_data = self.data + other.data
+
+        def backward_fn(g):
+            return _unbroadcast(g, self.data.shape), _unbroadcast(g, other.data.shape)
+
+        return _make(out_data, (self, other), backward_fn)
+
+    def __mul__(self, other: "Tensor") -> "Tensor":
+        other = _as_tensor(other, self.dtype)
+        out_data = self.data * other.data
+
+        def backward_fn(g):
+            return (
+                _unbroadcast(g * other.data, self.data.shape),
+                _unbroadcast(g * self.data, other.data.shape),
+            )
+
+        return _make(out_data, (self, other), backward_fn)
+
+    def __neg__(self) -> "Tensor":
+        return _make(-self.data, (self,), lambda g: (-g,))
+
+    def __sub__(self, other: "Tensor") -> "Tensor":
+        return self + (-_as_tensor(other, self.dtype))
+
+    def sum(self) -> "Tensor":
+        return _make(
+            np.asarray(self.data.sum(), dtype=self.dtype),
+            (self,),
+            lambda g: (np.broadcast_to(g, self.data.shape).astype(self.dtype),),
+        )
+
+    def mean(self) -> "Tensor":
+        n = self.data.size
+
+        def backward_fn(g):
+            return ((np.broadcast_to(g, self.data.shape) / n).astype(self.dtype),)
+
+        return _make(np.asarray(self.data.mean(), dtype=self.dtype), (self,), backward_fn)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        old = self.data.shape
+        return _make(self.data.reshape(*shape), (self,), lambda g: (g.reshape(old),))
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = _as_tensor(other, self.dtype)
+        out = self.data @ other.data
+
+        def backward_fn(g):
+            return g @ other.data.T, self.data.T @ g
+
+        return _make(out, (self, other), backward_fn)
+
+
+def _as_tensor(x, dtype) -> Tensor:
+    if isinstance(x, Tensor):
+        return x
+    return Tensor(np.asarray(x, dtype=dtype))
+
+
+def _make(data, parents: Iterable[Tensor], backward_fn) -> Tensor:
+    parents = tuple(parents)
+    requires = GRAD_ENABLED.enabled and any(p.requires_grad for p in parents)
+    return Tensor(data, requires_grad=requires, parents=parents, backward_fn=backward_fn)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after a broadcast op."""
+    g = grad
+    while g.ndim > len(shape):
+        g = g.sum(axis=0)
+    for i, s in enumerate(shape):
+        if s == 1 and g.shape[i] != 1:
+            g = g.sum(axis=i, keepdims=True)
+    return g
+
+
+#: Re-exported helper used by layers.
+make_op = _make
+unbroadcast = _unbroadcast
+as_tensor = _as_tensor

@@ -1,0 +1,130 @@
+"""Synthetic image datasets standing in for Cifar10 and ILSVRC2012.
+
+The real datasets are external downloads we do not have; Experiment 3's
+claim — Im2col-Winograd trains CNNs with the same convergence as a GEMM-conv
+baseline — is a property of the convolution arithmetic, not of the photos,
+so a *learnable* synthetic dataset exercises the identical code path (see
+DESIGN.md §2).
+
+Each class ``c`` gets a fixed random spatial template; samples are the
+template plus Gaussian pixel noise, linearly scaled into ``[-1, 1]`` like
+the paper's preprocessing, with one-hot labels.  A held-out test split uses
+the same templates with fresh noise, so train/test accuracy are both
+meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["SyntheticImages", "synthetic_cifar10", "synthetic_ilsvrc"]
+
+
+@dataclass(frozen=True)
+class SyntheticImages:
+    """A synthetic classification dataset in NHWC, labels one-hot.
+
+    ``x`` is float32 in [-1, 1]; ``y`` is float32 one-hot (N, classes).
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    classes: int
+
+    def __post_init__(self) -> None:
+        if self.x.shape[0] != self.y.shape[0]:
+            raise ValueError("x / y length mismatch")
+
+    def __len__(self) -> int:
+        return self.x.shape[0]
+
+    def batches(
+        self, batch_size: int, *, rng: np.random.Generator | None = None
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield shuffled (x, y) minibatches (last ragged batch included)."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        idx = np.arange(len(self))
+        if rng is not None:
+            rng.shuffle(idx)
+        for start in range(0, len(self), batch_size):
+            sel = idx[start : start + batch_size]
+            yield self.x[sel], self.y[sel]
+
+
+def _make_split(
+    templates: np.ndarray,
+    samples: int,
+    noise: float,
+    rng: np.random.Generator,
+) -> SyntheticImages:
+    classes, h, w, c = templates.shape
+    labels = rng.integers(0, classes, samples)
+    x = templates[labels] + noise * rng.standard_normal((samples, h, w, c))
+    x = np.clip(x, -1.0, 1.0).astype(np.float32)
+    y = np.zeros((samples, classes), dtype=np.float32)
+    y[np.arange(samples), labels] = 1.0
+    return SyntheticImages(x=x, y=y, classes=classes)
+
+
+def _synthetic(
+    *,
+    train: int,
+    test: int,
+    image: int,
+    channels: int,
+    classes: int,
+    noise: float,
+    seed: int,
+) -> tuple[SyntheticImages, SyntheticImages]:
+    rng = np.random.default_rng(seed)
+    # Smooth class templates: low-frequency random fields, scaled to [-1, 1].
+    base = rng.standard_normal((classes, image // 4 + 1, image // 4 + 1, channels))
+    templates = np.empty((classes, image, image, channels), dtype=np.float64)
+    for k in range(classes):
+        for ch in range(channels):
+            small = base[k, :, :, ch]
+            templates[k, :, :, ch] = np.kron(small, np.ones((4, 4)))[:image, :image]
+    templates /= np.abs(templates).max() + 1e-9
+    return (
+        _make_split(templates, train, noise, rng),
+        _make_split(templates, test, noise, rng),
+    )
+
+
+def synthetic_cifar10(
+    train: int = 2048,
+    test: int = 512,
+    *,
+    image: int = 32,
+    classes: int = 10,
+    noise: float = 0.35,
+    seed: int = 0,
+) -> tuple[SyntheticImages, SyntheticImages]:
+    """Cifar10 stand-in: 32x32x3, 10 categories (§6.3.1), scaled sample count."""
+    return _synthetic(
+        train=train, test=test, image=image, channels=3, classes=classes, noise=noise, seed=seed
+    )
+
+
+def synthetic_ilsvrc(
+    train: int = 512,
+    test: int = 128,
+    *,
+    image: int = 64,
+    classes: int = 100,
+    noise: float = 0.35,
+    seed: int = 1,
+) -> tuple[SyntheticImages, SyntheticImages]:
+    """ILSVRC2012 stand-in.
+
+    The paper uses 128x128 inputs with 1000 categories (§6.3.1); the default
+    here is scaled to 64x64 / 100 classes so the benches run in minutes —
+    pass ``image=128, classes=1000`` to match the paper's geometry exactly.
+    """
+    return _synthetic(
+        train=train, test=test, image=image, channels=3, classes=classes, noise=noise, seed=seed
+    )

@@ -1,0 +1,47 @@
+"""Weight initialisation — kaiming-uniform, as in §6.3.1.
+
+"Full-connect and convolutional layers were initialized using
+kaiming-uniform" with LeakyReLU activations; the gain accounts for the leaky
+slope following He et al. 2015.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["kaiming_uniform", "leaky_relu_gain"]
+
+
+def leaky_relu_gain(negative_slope: float = 0.01) -> float:
+    """He-init gain for LeakyReLU: sqrt(2 / (1 + slope^2))."""
+    return math.sqrt(2.0 / (1.0 + negative_slope**2))
+
+
+def kaiming_uniform(
+    shape: tuple[int, ...],
+    fan_in: int,
+    *,
+    rng: np.random.Generator,
+    negative_slope: float = 0.01,
+    dtype=np.float32,
+) -> np.ndarray:
+    """Sample ``U(-bound, bound)`` with ``bound = gain * sqrt(3 / fan_in)``.
+
+    Parameters
+    ----------
+    shape:
+        Tensor shape to create.
+    fan_in:
+        Input connectivity (``IC * FH * FW`` for conv filters, input features
+        for linear layers).
+    rng:
+        Generator (seeded by the caller for reproducibility).
+    negative_slope:
+        LeakyReLU slope for the gain.
+    """
+    if fan_in < 1:
+        raise ValueError(f"fan_in must be >= 1, got {fan_in}")
+    bound = leaky_relu_gain(negative_slope) * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(dtype)

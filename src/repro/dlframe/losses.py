@@ -1,0 +1,50 @@
+"""Loss functions.
+
+The paper trains with SoftMax and one-hot labels (§6.3.1); the combined
+softmax-cross-entropy below is the numerically stable fused form whose
+gradient is ``(softmax(z) - onehot) / N``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor, make_op
+
+__all__ = ["softmax_cross_entropy", "softmax", "accuracy"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise stable softmax of a (N, C) array."""
+    z = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def softmax_cross_entropy(logits: Tensor, onehot: np.ndarray) -> Tensor:
+    """Mean cross-entropy between softmax(logits) and one-hot targets.
+
+    Parameters
+    ----------
+    logits:
+        (N, C) tensor.
+    onehot:
+        (N, C) array of one-hot rows (the paper's label encoding).
+    """
+    onehot = np.asarray(onehot, dtype=logits.data.dtype)
+    if onehot.shape != logits.data.shape:
+        raise ValueError(f"onehot shape {onehot.shape} != logits shape {logits.data.shape}")
+    n = logits.data.shape[0]
+    p = softmax(logits.data)
+    eps = np.finfo(logits.data.dtype).tiny
+    loss = -(onehot * np.log(p + eps)).sum() / n
+
+    def backward_fn(g):
+        return (g * (p - onehot) / n,)
+
+    return make_op(np.asarray(loss, dtype=logits.data.dtype), (logits,), backward_fn)
+
+
+def accuracy(logits: np.ndarray, onehot: np.ndarray) -> float:
+    """Top-1 accuracy of (N, C) logits against one-hot targets."""
+    return float((logits.argmax(axis=1) == onehot.argmax(axis=1)).mean())

@@ -1,0 +1,18 @@
+"""The paper's model zoo (§6.3): VGG and ResNet families."""
+
+from .resnet import RESNET_CONFIGS, BasicBlock, ResNet, resnet18, resnet34
+from .vgg import VGG_CONFIGS, build_vgg, vgg16, vgg16x5, vgg16x7, vgg19
+
+__all__ = [
+    "build_vgg",
+    "vgg16",
+    "vgg19",
+    "vgg16x5",
+    "vgg16x7",
+    "VGG_CONFIGS",
+    "ResNet",
+    "BasicBlock",
+    "resnet18",
+    "resnet34",
+    "RESNET_CONFIGS",
+]

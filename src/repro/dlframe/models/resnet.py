@@ -1,0 +1,118 @@
+"""ResNet-18/34 with basic blocks.
+
+§6.3.2: "ResNet uses non-unit-stride convolution rather than max-pooling for
+down-sampling, which restricts the contributions of Im2col-Winograd" — the
+stride-2 convolutions here fall back to the GEMM engine automatically
+(:attr:`repro.dlframe.layers.Conv2D.effective_engine`), reproducing exactly
+the dispatch that makes the paper's ResNet speedups smaller than VGG's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..layers import (
+    BatchNorm2D,
+    Conv2D,
+    GlobalAvgPool2D,
+    LeakyReLU,
+    Linear,
+    Module,
+    Sequential,
+    add,
+)
+
+__all__ = ["BasicBlock", "ResNet", "resnet18", "resnet34", "RESNET_CONFIGS"]
+
+RESNET_CONFIGS = {
+    "resnet18": (2, 2, 2, 2),
+    "resnet34": (3, 4, 6, 3),
+}
+
+_STAGE_WIDTHS = (64, 128, 256, 512)
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with a residual connection."""
+
+    def __init__(
+        self, ic: int, oc: int, *, stride: int = 1, engine: str, rng: np.random.Generator
+    ) -> None:
+        super().__init__()
+        self.conv1 = Conv2D(ic, oc, 3, stride=stride, engine=engine, rng=rng, bias=False)
+        self.bn1 = BatchNorm2D(oc)
+        self.act1 = LeakyReLU()
+        self.conv2 = Conv2D(oc, oc, 3, engine=engine, rng=rng, bias=False)
+        self.bn2 = BatchNorm2D(oc)
+        self.act2 = LeakyReLU()
+        if stride != 1 or ic != oc:
+            self.shortcut: Module | None = Conv2D(
+                ic, oc, 1, stride=stride, padding=0, engine=engine, rng=rng, bias=False
+            )
+            self.shortcut_bn: Module | None = BatchNorm2D(oc)
+        else:
+            self.shortcut = None
+            self.shortcut_bn = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.act1(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        skip = x if self.shortcut is None else self.shortcut_bn(self.shortcut(x))
+        return self.act2(add(out, skip))
+
+
+class ResNet(Module):
+    """Small-input ResNet (Cifar-style stem: one 3x3 conv, no 7x7/maxpool)."""
+
+    def __init__(
+        self,
+        blocks_per_stage: tuple[int, ...],
+        *,
+        classes: int = 10,
+        in_channels: int = 3,
+        width_mult: float = 1.0,
+        engine: str = "winograd",
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        widths = [max(4, int(w * width_mult)) for w in _STAGE_WIDTHS]
+        self.stem = Conv2D(in_channels, widths[0], 3, engine=engine, rng=rng, bias=False)
+        self.stem_bn = BatchNorm2D(widths[0])
+        self.stem_act = LeakyReLU()
+        stages: list[Module] = []
+        ic = widths[0]
+        for stage, blocks in enumerate(blocks_per_stage):
+            oc = widths[min(stage, len(widths) - 1)]
+            for b in range(blocks):
+                stride = 2 if (stage > 0 and b == 0) else 1
+                stages.append(BasicBlock(ic, oc, stride=stride, engine=engine, rng=rng))
+                ic = oc
+        self.stages = Sequential(*stages)
+        self.pool = GlobalAvgPool2D()
+        self.head = Linear(ic, classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem_act(self.stem_bn(self.stem(x)))
+        out = self.stages(out)
+        return self.head(self.pool(out))
+
+    def strided_conv_count(self) -> int:
+        """How many convolutions fall back to GEMM (§6.3.2's limitation)."""
+        count = 0
+        for block in self.stages:
+            if isinstance(block, BasicBlock):
+                if block.conv1.stride != 1:
+                    count += 1
+                if block.shortcut is not None and block.shortcut.stride != 1:
+                    count += 1
+        return count
+
+
+def resnet18(**kw) -> ResNet:
+    return ResNet(RESNET_CONFIGS["resnet18"], **kw)
+
+
+def resnet34(**kw) -> ResNet:
+    return ResNet(RESNET_CONFIGS["resnet34"], **kw)

@@ -1,0 +1,116 @@
+"""VGG family: VGG16, VGG19 and the paper's VGG16x5 / VGG16x7 variants.
+
+§6.3.1: VGG16x5 adjusts *all* filters from 3x3 to 5x5 (evaluating
+Gamma_8(4,5)); VGG16x7 changes the filter shapes of the *first 4*
+convolutional layers to 7x7 (evaluating Gamma_16(10,7)).  5 BatchNorm
+layers are added into VGG to expedite convergence — one per block here.
+Activations are LeakyReLU, downsampling is 2x2 max-pooling (the
+Winograd-friendly design the paper contrasts with ResNet's strided convs).
+
+``width_mult`` and ``image`` let tests/benches run scaled-down instances of
+the *same topology*; ``width_mult=1.0, image=32`` is the Cifar10 geometry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..layers import (
+    BatchNorm2D,
+    Conv2D,
+    Flatten,
+    LeakyReLU,
+    Linear,
+    MaxPool2D,
+    Module,
+    Sequential,
+)
+
+__all__ = ["build_vgg", "vgg16", "vgg19", "vgg16x5", "vgg16x7", "VGG_CONFIGS"]
+
+#: Convolutions per block.
+VGG_CONFIGS = {
+    "vgg16": (2, 2, 3, 3, 3),
+    "vgg19": (2, 2, 4, 4, 4),
+}
+
+#: Base channel width per block (scaled by width_mult).
+_BLOCK_WIDTHS = (64, 128, 256, 512, 512)
+
+
+def build_vgg(
+    config: str = "vgg16",
+    *,
+    classes: int = 10,
+    in_channels: int = 3,
+    image: int = 32,
+    width_mult: float = 1.0,
+    kernel: int = 3,
+    first4_kernel: int | None = None,
+    engine: str = "winograd",
+    seed: int = 0,
+) -> Module:
+    """Construct a VGG-style network.
+
+    Parameters
+    ----------
+    config:
+        ``"vgg16"`` or ``"vgg19"`` (conv counts per block).
+    classes, in_channels, image:
+        Task geometry; ``image`` must be divisible by ``2**blocks_used``
+        (blocks beyond that limit share the last pooled resolution).
+    width_mult:
+        Channel scaling for fast tests (1.0 = paper widths).
+    kernel:
+        Filter edge for all conv layers (5 gives VGG16x5).
+    first4_kernel:
+        If set, overrides ``kernel`` for the first four conv layers
+        (7 gives VGG16x7).
+    engine:
+        Convolution engine, forwarded to every Conv2D.
+    """
+    if config not in VGG_CONFIGS:
+        raise ValueError(f"unknown VGG config {config!r}; choose from {sorted(VGG_CONFIGS)}")
+    rng = np.random.default_rng(seed)
+    layers: list[Module] = []
+    ic = in_channels
+    size = image
+    conv_index = 0
+    for block, convs in enumerate(VGG_CONFIGS[config]):
+        oc = max(4, int(_BLOCK_WIDTHS[block] * width_mult))
+        for i in range(convs):
+            k = kernel
+            if first4_kernel is not None and conv_index < 4:
+                k = first4_kernel
+            layers.append(Conv2D(ic, oc, k, engine=engine, rng=rng))
+            if i == 0:
+                layers.append(BatchNorm2D(oc))  # the paper's 5 added BN layers
+            layers.append(LeakyReLU())
+            ic = oc
+            conv_index += 1
+        if size % 2 == 0 and size >= 2:
+            layers.append(MaxPool2D(2))
+            size //= 2
+    layers.append(Flatten())
+    layers.append(Linear(ic * size * size, classes, rng=rng))
+    return Sequential(*layers)
+
+
+def vgg16(**kw) -> Module:
+    """VGG16 with 3x3 filters (exercises Gamma_8(6,3))."""
+    return build_vgg("vgg16", **kw)
+
+
+def vgg19(**kw) -> Module:
+    """VGG19 with 3x3 filters."""
+    return build_vgg("vgg19", **kw)
+
+
+def vgg16x5(**kw) -> Module:
+    """VGG16 with all filters 5x5 (exercises Gamma_8(4,5), §6.3.1)."""
+    return build_vgg("vgg16", kernel=5, **kw)
+
+
+def vgg16x7(**kw) -> Module:
+    """VGG16 with the first 4 conv layers 7x7 (exercises Gamma_16(10,7))."""
+    return build_vgg("vgg16", first4_kernel=7, **kw)

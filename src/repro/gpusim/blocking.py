@@ -1,0 +1,91 @@
+"""Grid decomposition and wave accounting (§5.1).
+
+The tasks of ``Gamma_alpha(n, r)`` are distributed among
+``(OC / BN) x (N * OH * (OW / n) / BM)`` blocks; each block runs
+``FH * IC / BK`` iterations to produce ``BN x BM`` output tiles.  The paper
+argues this makes the *block count* consistent across CNN layers (early
+layers: big maps, small channels; late layers: the reverse; the product is
+stable) — :func:`grid_for` exposes the numbers behind that argument, and
+wave/tail quantisation feeds the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.variants import VariantSpec
+from ..nhwc.tensor import ConvShape
+from .device import DeviceSpec
+from .occupancy import Occupancy, occupancy_for
+
+__all__ = ["GridPlan", "grid_for", "iterations_per_block"]
+
+
+@dataclass(frozen=True)
+class GridPlan:
+    """Block-level decomposition of one Winograd segment.
+
+    ``tail_efficiency`` is the utilisation of the final (partial) wave:
+    blocks / (waves * SMs * blocks_per_SM).
+    """
+
+    grid_n: int  # along OC, BN per block
+    grid_m: int  # along N*OH*tiles, BM per block
+    blocks: int
+    iterations: int  # FH * ceil(IC / BK)
+    occupancy: Occupancy
+    waves: int
+    tail_efficiency: float
+
+
+def iterations_per_block(shape: ConvShape, spec: VariantSpec) -> int:
+    """``FH * ceil(IC / BK)`` main-loop iterations (§5.1)."""
+    return shape.fh * -(-shape.ic // spec.bk)
+
+
+def grid_for(
+    shape: ConvShape,
+    spec: VariantSpec,
+    device: DeviceSpec,
+    *,
+    ow_segment: int | None = None,
+) -> GridPlan:
+    """Grid/wave plan of one kernel over (a width segment of) a convolution.
+
+    Parameters
+    ----------
+    shape:
+        The convolution problem.
+    spec:
+        Kernel variant (fixes BN, BM, BK, threads, SMEM, registers).
+    device:
+        Target GPU.
+    ow_segment:
+        Output-width extent owned by this kernel (defaults to the full OW);
+        must be divisible by the kernel coverage.
+    """
+    ow = shape.ow if ow_segment is None else ow_segment
+    if ow % spec.coverage != 0:
+        raise ValueError(f"segment width {ow} not divisible by coverage {spec.coverage}")
+    tiles = ow // spec.n  # output tiles along the width axis
+    grid_n = -(-shape.oc // spec.bn)
+    grid_m = -(-(shape.batch * shape.oh * tiles) // spec.bm)
+    blocks = grid_n * grid_m
+    occ = occupancy_for(
+        device,
+        threads_per_block=spec.threads,
+        smem_per_block=spec.smem_bytes,
+        regs_per_thread=spec.regs_per_thread,
+    )
+    slots = device.sm_count * occ.blocks_per_sm
+    waves = -(-blocks // slots)
+    tail = blocks / (waves * slots)
+    return GridPlan(
+        grid_n=grid_n,
+        grid_m=grid_m,
+        blocks=blocks,
+        iterations=iterations_per_block(shape, spec),
+        occupancy=occ,
+        waves=waves,
+        tail_efficiency=tail,
+    )

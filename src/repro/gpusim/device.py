@@ -1,0 +1,103 @@
+"""GPU device specifications for the performance model.
+
+The paper evaluates on an RTX 3060 Ti (Ampere, GA104) and an RTX 4090
+(Ada Lovelace, AD102) (§6.1).  The numbers below are the public datasheet
+values that the performance model consumes; nothing here is fitted.
+
+A note on what "peak" means: the paper reports Gflop/s as *standard
+convolution* FLOPs divided by time, so a Winograd kernel that multiplies
+``nr/(n+r-1)`` times less can legitimately report above hardware peak — e.g.
+Gamma_16(8,9) reaches ~33 Tflop/s on a 16.2-Tflop/s 3060 Ti.  The model
+computes time from the *actual* arithmetic and memory work and converts back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "RTX3060TI", "RTX4090", "DEVICES"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Hardware parameters of one GPU.
+
+    Attributes
+    ----------
+    name, arch:
+        Marketing name and architecture family.
+    sm_count:
+        Streaming multiprocessors.
+    peak_fp32_gflops:
+        FP32 FMA peak (2 ops/FMA counted).
+    dram_bw_gbs, l2_bw_gbs:
+        DRAM and aggregate L2 bandwidths in GB/s.
+    l2_bytes:
+        L2 capacity.
+    smem_per_sm, max_smem_per_block:
+        Shared-memory capacity per SM and per-block cap (the 49152 B the
+        paper's alpha budget is derived from, §4.1).
+    regs_per_sm:
+        32-bit registers per SM.
+    max_threads_per_sm, max_blocks_per_sm:
+        Occupancy limits.
+    warp_size, smem_banks:
+        Execution/bank geometry (32/32 on both architectures).
+    launch_overhead_us:
+        Fixed per-kernel-launch cost, charged per boundary segment.
+    """
+
+    name: str
+    arch: str
+    sm_count: int
+    peak_fp32_gflops: float
+    dram_bw_gbs: float
+    l2_bw_gbs: float
+    l2_bytes: int
+    smem_per_sm: int
+    max_smem_per_block: int
+    regs_per_sm: int
+    max_threads_per_sm: int
+    max_blocks_per_sm: int
+    warp_size: int = 32
+    smem_banks: int = 32
+    launch_overhead_us: float = 4.0
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        return self.max_threads_per_sm // self.warp_size
+
+
+#: Ampere GA104, 38 SMs @ ~1.67 GHz, 2 FP32 pipes: ~16.2 Tflop/s.
+RTX3060TI = DeviceSpec(
+    name="RTX3060Ti",
+    arch="Ampere",
+    sm_count=38,
+    peak_fp32_gflops=16_200.0,
+    dram_bw_gbs=448.0,
+    l2_bw_gbs=1_800.0,
+    l2_bytes=4 * 1024 * 1024,
+    smem_per_sm=102_400,
+    max_smem_per_block=49_152,
+    regs_per_sm=65_536,
+    max_threads_per_sm=1_536,
+    max_blocks_per_sm=16,
+)
+
+#: Ada AD102, 128 SMs @ ~2.52 GHz: ~82.6 Tflop/s, 72 MiB L2.
+RTX4090 = DeviceSpec(
+    name="RTX4090",
+    arch="Ada",
+    sm_count=128,
+    peak_fp32_gflops=82_600.0,
+    dram_bw_gbs=1_008.0,
+    l2_bw_gbs=5_000.0,
+    l2_bytes=72 * 1024 * 1024,
+    smem_per_sm=102_400,
+    max_smem_per_block=49_152,
+    regs_per_sm=65_536,
+    max_threads_per_sm=1_536,
+    max_blocks_per_sm=24,
+)
+
+DEVICES = {d.name: d for d in (RTX3060TI, RTX4090)}

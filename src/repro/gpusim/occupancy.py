@@ -1,0 +1,97 @@
+"""SM occupancy calculation.
+
+Standard CUDA occupancy arithmetic: how many blocks of a kernel fit on one
+SM given its shared-memory, register, thread and block-slot limits, and the
+resulting warp occupancy.  The paper leans on this twice: the alpha <= 24
+SMEM budget (§4.1) and the ruse variant's parallelism loss ("the number of
+active threads decreases, negatively impacting performance", §5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+
+__all__ = ["Occupancy", "occupancy_for"]
+
+#: Register allocation granularity (warp-level, 256-register chunks).
+_REG_ALLOC_UNIT = 256
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Occupancy of one kernel configuration on one device.
+
+    ``limiter`` names the binding resource ("smem", "registers", "threads"
+    or "blocks").
+    """
+
+    blocks_per_sm: int
+    active_threads: int
+    active_warps: int
+    occupancy: float
+    limiter: str
+
+    @property
+    def is_resident(self) -> bool:
+        return self.blocks_per_sm >= 1
+
+
+def occupancy_for(
+    device: DeviceSpec,
+    *,
+    threads_per_block: int,
+    smem_per_block: int,
+    regs_per_thread: int,
+) -> Occupancy:
+    """Blocks per SM and warp occupancy for a kernel configuration.
+
+    Raises
+    ------
+    ValueError
+        If the block can never be resident (exceeds a per-block hardware
+        limit) — the situation the paper's alpha <= 24 bound avoids.
+    """
+    if threads_per_block < 1:
+        raise ValueError(f"threads_per_block must be >= 1, got {threads_per_block}")
+    if smem_per_block > device.max_smem_per_block:
+        raise ValueError(
+            f"block needs {smem_per_block} B SMEM > device cap {device.max_smem_per_block} B"
+        )
+    if threads_per_block > 1024:
+        raise ValueError(f"threads_per_block {threads_per_block} > 1024 hardware cap")
+
+    limits = {
+        "smem": device.smem_per_sm // smem_per_block if smem_per_block > 0 else device.max_blocks_per_sm,
+        "registers": _register_limit(device, threads_per_block, regs_per_thread),
+        "threads": device.max_threads_per_sm // threads_per_block,
+        "blocks": device.max_blocks_per_sm,
+    }
+    limiter = min(limits, key=limits.get)  # type: ignore[arg-type]
+    blocks = limits[limiter]
+    if blocks < 1:
+        raise ValueError(
+            f"kernel cannot be resident: limited by {limiter} "
+            f"(threads={threads_per_block}, smem={smem_per_block}, regs={regs_per_thread})"
+        )
+    active_threads = blocks * threads_per_block
+    warps = active_threads // device.warp_size
+    return Occupancy(
+        blocks_per_sm=blocks,
+        active_threads=active_threads,
+        active_warps=warps,
+        occupancy=active_threads / device.max_threads_per_sm,
+        limiter=limiter,
+    )
+
+
+def _register_limit(device: DeviceSpec, threads: int, regs_per_thread: int) -> int:
+    """Blocks allowed by the register file (warp-granular allocation)."""
+    if regs_per_thread <= 0:
+        return device.max_blocks_per_sm
+    warps = -(-threads // device.warp_size)
+    regs_per_warp = regs_per_thread * device.warp_size
+    regs_per_warp = -(-regs_per_warp // _REG_ALLOC_UNIT) * _REG_ALLOC_UNIT
+    regs_per_block = warps * regs_per_warp
+    return device.regs_per_sm // regs_per_block

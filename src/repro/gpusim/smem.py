@@ -1,0 +1,129 @@
+"""Shared-memory bank model and the paper's §5.2 layouts.
+
+A GPU SMEM is organised in 32 four-byte banks; a warp's access completes in
+as many phases as the worst per-bank address multiplicity ("conflict
+degree").  128-bit vectorised accesses are issued as quarter-warp phases
+(8 lanes x 4 words each).
+
+This module provides
+
+* :func:`conflict_degree` — degree of one 32-lane word-address pattern;
+* :func:`vectorized_conflict_degree` — degree of a 128-bit access, split
+  into its quarter-warp phases like the hardware does;
+* :class:`SmemArray` — an N-D SMEM array with optional last-dimension
+  padding, producing word addresses for index patterns, so the paper's
+  padded layouts (``Ys[8][32+1][16+4]`` etc., §5.2) can be evaluated
+  verbatim.
+
+The ablation bench A1 uses these to show the paper's padding/Z-arrangement
+choices are exactly the ones that reach degree 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "conflict_degree",
+    "vectorized_conflict_degree",
+    "SmemArray",
+    "BANKS",
+    "BANK_BYTES",
+]
+
+BANKS = 32
+BANK_BYTES = 4
+
+
+def conflict_degree(word_addresses: Iterable[int], banks: int = BANKS) -> int:
+    """Worst per-bank multiplicity of a set of 4-byte word addresses.
+
+    Lanes hitting the *same word* broadcast and do not conflict, so
+    duplicates are collapsed before counting (matching hardware multicast).
+    Degree 1 means conflict-free.
+    """
+    addrs = np.unique(np.fromiter(word_addresses, dtype=np.int64))
+    if addrs.size == 0:
+        return 1
+    if np.any(addrs < 0):
+        raise ValueError("negative SMEM word address")
+    counts = np.bincount(addrs % banks, minlength=banks)
+    return int(counts.max())
+
+
+def vectorized_conflict_degree(
+    base_word_addresses: Sequence[int], words_per_lane: int = 4, banks: int = BANKS
+) -> int:
+    """Total phases of a vectorised (e.g. 128-bit) warp access.
+
+    Hardware splits a 16-byte-per-lane request into quarter-warp phases: in
+    phase ``q``, lanes ``8q..8q+7`` each access ``words_per_lane``
+    consecutive words.  The access costs the *sum* of per-phase degrees; a
+    conflict-free 128-bit load costs 4 phases, so callers should compare
+    against ``len(lanes)/8 * 1`` per word — we return the total and also
+    treat ``words_per_lane == 1`` (plain 32-bit) as a single full-warp phase.
+    """
+    base = list(base_word_addresses)
+    if words_per_lane == 1:
+        return conflict_degree(base, banks)
+    lanes_per_phase = max(1, 32 // words_per_lane)
+    total = 0
+    for q0 in range(0, len(base), lanes_per_phase):
+        phase_lanes = base[q0 : q0 + lanes_per_phase]
+        for w in range(words_per_lane):
+            total += conflict_degree([a + w for a in phase_lanes], banks)
+    # Normalise: a conflict-free access costs (#phases * words_per_lane)
+    # single-degree sub-phases; report the *average* degree per sub-phase.
+    phases = -(-len(base) // lanes_per_phase) * words_per_lane
+    return max(1, total // phases) if phases else 1
+
+
+@dataclass(frozen=True)
+class SmemArray:
+    """A shared-memory array with shape and (already-included) padding.
+
+    ``shape`` lists the declared dimensions *including* any padding, e.g.
+    the paper's ``Ys[8][32+1][16+4]`` is ``SmemArray("Ys", (8, 33, 20))``.
+    Addresses are word (4-byte) offsets from the array base.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+
+    @property
+    def words(self) -> int:
+        out = 1
+        for s in self.shape:
+            out *= s
+        return out
+
+    @property
+    def bytes(self) -> int:
+        return self.words * BANK_BYTES
+
+    def address(self, *index: int) -> int:
+        """Row-major word address of one element (bounds-checked)."""
+        if len(index) != len(self.shape):
+            raise ValueError(f"{self.name}: expected {len(self.shape)} indices, got {len(index)}")
+        addr = 0
+        for i, (ix, dim) in enumerate(zip(index, self.shape)):
+            if not 0 <= ix < dim:
+                raise IndexError(f"{self.name}: index {ix} out of range for dim {i} (size {dim})")
+            addr = addr * dim + ix
+        return addr
+
+    def warp_store_degree(self, indices: Sequence[tuple[int, ...]]) -> int:
+        """Conflict degree of one warp storing one word per lane."""
+        return conflict_degree(self.address(*ix) for ix in indices)
+
+    def warp_store_degree_vec(
+        self, indices: Sequence[tuple[int, ...]], words_per_lane: int = 4
+    ) -> int:
+        """Conflict degree of a warp's vectorised store (consecutive words
+        starting at each lane's index)."""
+        return vectorized_conflict_degree(
+            [self.address(*ix) for ix in indices], words_per_lane
+        )

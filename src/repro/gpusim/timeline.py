@@ -1,0 +1,131 @@
+"""Event-level timeline of one block's main loop (§5.1's pipeline).
+
+Where :mod:`repro.gpusim.perfmodel` is closed-form and
+:mod:`repro.gpusim.trace` counts SMEM phases, this module plays out the
+*temporal* structure of Algorithms 1/2: per iteration, a block must
+
+1. load the next filter/input tiles from global memory (latency ``L`` +
+   bandwidth term),
+2. transform them (ALU cycles),
+3. run ``BK`` outer-product steps (FMA cycles).
+
+With the double-buffered SMEM of the alpha in {4, 8} kernels, step 1+2 of
+iteration ``i+1`` overlaps step 3 of iteration ``i`` (one ``__syncthreads``
+per buffer swap); the single-buffered alpha=16 kernels must finish the
+outer product before overwriting the buffer, exposing the load latency once
+per iteration.  Multiple resident blocks interleave on the SM, hiding each
+other's stalls.
+
+The output is cycles per iteration and a pipeline utilisation number; the
+A1b ablation uses it to show what double buffering is worth — a quantity
+the closed-form model only carries as a calibration constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.variants import VariantSpec
+
+__all__ = ["TimelineResult", "simulate_block_timeline"]
+
+#: Global-memory latency in cycles (Ampere-class, L2 hit ~ 250, miss ~ 500).
+GLOBAL_LATENCY = 350
+#: FMA throughput per SM per cycle (128 FP32 lanes on Ampere/Ada).
+FMA_PER_CYCLE = 128
+#: Transform ALU ops per cycle (shares the FMA pipes).
+ALU_PER_CYCLE = 128
+#: Global-load words per cycle per SM (bandwidth share).
+LOAD_WORDS_PER_CYCLE = 16
+
+
+@dataclass(frozen=True)
+class TimelineResult:
+    """Timing of one block's full iteration stream on one SM.
+
+    ``cycles_per_iteration`` is the steady-state cost; ``utilisation`` is
+    FMA-issue occupancy of the outer-product pipeline (1.0 = never starved);
+    ``exposed_latency`` is the per-iteration stall the buffering scheme
+    fails to hide.
+    """
+
+    cycles_per_iteration: float
+    compute_cycles: float
+    load_cycles: float
+    transform_cycles: float
+    utilisation: float
+    exposed_latency: float
+
+
+def _iteration_costs(spec: VariantSpec, resident_blocks: int) -> tuple[float, float, float]:
+    """(compute, load, transform) cycles for one iteration of one block,
+    given ``resident_blocks`` sharing the SM's issue bandwidth."""
+    share = max(1, resident_blocks)
+    # Outer product: alpha * BN * BM * BK FMAs per iteration.
+    fmas = spec.alpha * spec.bn * spec.bm * spec.bk
+    compute = fmas / (FMA_PER_CYCLE / share)
+    # Loads: BM input tiles (alpha words, fewer for ruse) + BN filter rows.
+    from ..core.variants import input_items_per_tile
+
+    words = (spec.bm * input_items_per_tile(spec.alpha, spec.r, spec.variant)
+             + spec.bn * spec.r) * spec.bk
+    load = GLOBAL_LATENCY / share + words / (LOAD_WORDS_PER_CYCLE / share)
+    # Transforms: ~1.5 ops per matrix entry with §5.3 pairing.
+    t_ops = 1.5 * (spec.bm * spec.alpha**2 + spec.bn * spec.alpha * spec.r) * spec.bk / spec.alpha
+    transform = t_ops / (ALU_PER_CYCLE / share)
+    return compute, load, transform
+
+
+def simulate_block_timeline(
+    spec: VariantSpec,
+    iterations: int,
+    *,
+    resident_blocks: int = 2,
+    force_single_buffer: bool = False,
+) -> TimelineResult:
+    """Play out ``iterations`` main-loop steps of one block.
+
+    Parameters
+    ----------
+    spec:
+        Kernel variant (decides double buffering unless forced).
+    iterations:
+        ``FH * ceil(IC / BK)`` (use :func:`repro.gpusim.blocking.iterations_per_block`).
+    resident_blocks:
+        Blocks sharing the SM (their work hides each other's latency:
+        exposed stalls shrink by the co-residency factor).
+    force_single_buffer:
+        Ablation switch: run a double-buffered kernel as if single-buffered.
+    """
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    compute, load, transform = _iteration_costs(spec, resident_blocks)
+    double = spec.double_buffered and not force_single_buffer
+
+    if double:
+        # load+transform of iteration i+1 overlaps compute of iteration i:
+        # steady-state cost = max(compute, load + transform); co-resident
+        # blocks absorb the remainder of any stall.
+        stall = max(0.0, (load + transform) - compute)
+        exposed = stall / max(1, resident_blocks)
+        per_iter = compute + exposed
+        # First iteration's fill is unavoidable.
+        total = (load + transform) + per_iter * iterations
+    else:
+        # Single buffer: the outer product cannot start until the tiles are
+        # stored, and the next load cannot start until the buffer is free —
+        # only co-resident blocks hide anything.
+        serial = compute + load + transform
+        hidden = (load + transform) * (1 - 1 / max(1, resident_blocks))
+        per_iter = serial - hidden
+        exposed = per_iter - compute
+        total = per_iter * iterations + load + transform
+
+    return TimelineResult(
+        cycles_per_iteration=total / iterations,
+        compute_cycles=compute,
+        load_cycles=load,
+        transform_cycles=transform,
+        utilisation=compute / (total / iterations),
+        exposed_latency=max(0.0, exposed),
+    )

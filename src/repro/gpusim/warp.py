@@ -1,0 +1,79 @@
+"""Warp-level access patterns of the Gamma kernels (§5.2, Figure 4).
+
+The paper avoids SMEM bank conflicts with three devices:
+
+1. **Z-shaped laneIdx arrangement** for the outer-product loads: within a
+   warp, lane ``l`` starts its 128-bit loads of the filter buffer ``Gs`` at
+   ``GIdx(l)`` and of the input buffer ``Ds`` at ``DIdx(l)``, with the
+   (GIdx, DIdx) pairs snaking through the BN x BM accumulator grid in a
+   Z-shape so concurrent quarter-warp phases touch disjoint bank groups.
+2. **Array padding** of ``Ys``/``Ds`` last dimensions to multiples of 4
+   (128-bit store units) plus an offset, spreading stores across banks.
+3. **Index swizzling** for Gamma_8's ``Ds`` (padding impossible: ``Gs+Ds``
+   already use the full 49152 B): ``Xi <- (Xi + 4*Xk) % 32`` at store time,
+   compensated in the outer-product load mapping.
+
+The printed formulas in the paper are "simplified"; this module implements
+the arrangement that realises their stated intent (lane 1 loading items 8-15
+of ``Gs`` and 0-7 of ``Ds`` per Figure 4, conflict-free phases), and the A1
+ablation verifies degree-1 against a naive linear arrangement.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "z_lane_arrangement",
+    "linear_lane_arrangement",
+    "thread_store_indices_gs",
+    "thread_store_indices_ds",
+    "swizzle_xi",
+]
+
+
+def z_lane_arrangement(lane: int) -> tuple[int, int]:
+    """Z-shaped (GIdx, DIdx) start offsets of one warp lane (Figure 4).
+
+    The 32 lanes tile an 8 x 4 grid of 8x8 outer-product patches: GIdx walks
+    {0, 8, ..., 56}, DIdx walks {0, 8, 16, 24}, in the order
+    (0,0), (8,0), (0,8), (8,8), (0,16), ... then the 16-lane bottom half
+    shifted by 16 in GIdx — lanes in the same quarter-warp phase never share
+    a ``Ds`` bank group.
+    """
+    if not 0 <= lane < 32:
+        raise ValueError(f"lane must be in [0, 32), got {lane}")
+    gidx = 8 * ((lane % 2) + 2 * (lane // 8))
+    didx = 8 * ((lane % 8) // 2)
+    return gidx, didx
+
+
+def linear_lane_arrangement(lane: int) -> tuple[int, int]:
+    """Naive row-major (GIdx, DIdx): the arrangement the Z-shape replaces."""
+    if not 0 <= lane < 32:
+        raise ValueError(f"lane must be in [0, 32), got {lane}")
+    return 8 * (lane // 4), 8 * (lane % 4)
+
+
+def thread_store_indices_gs(tx: int, ty: int, bn: int) -> tuple[int, int]:
+    """(Gk, Gi) store coordinates of thread (ty, tx) into ``Gs`` (§5.2).
+
+    ``[Gk, Gi] = [ty % 8, (2*tx + [ty > 7]) * (BN / 32)]``.
+    """
+    return ty % 8, (2 * tx + (1 if ty > 7 else 0)) * (bn // 32)
+
+
+def thread_store_indices_ds(tx: int, ty: int, bm: int) -> tuple[int, int]:
+    """(Xk, Xi) store coordinates of thread (ty, tx) into ``Ds`` (§5.2).
+
+    ``[Xk, Xi] = [tx % 8, (2*ty + [tx > 7]) * (BM / 32)]``.
+    """
+    return tx % 8, (2 * ty + (1 if tx > 7 else 0)) * (bm // 32)
+
+
+def swizzle_xi(xi: int, xk: int, width: int = 32) -> int:
+    """Gamma_8's ``Ds`` store swizzle: ``Xi <- (Xi + 4*Xk) % width`` (§5.2).
+
+    Padding cannot be applied to Gamma_8's ``Ds`` (SMEM is exhausted), so
+    the store column is rotated by the row index instead; the outer-product
+    load applies the matching ``(DIdx + 4*ik + idx) % width`` rotation.
+    """
+    return (xi + 4 * xk) % width

@@ -1,0 +1,36 @@
+"""NHWC tensor substrate: shape math, layouts, im2col, 1D tile extraction."""
+
+from .layouts import (
+    chwn_to_nhwc,
+    filter_transposition_bytes,
+    nchw_to_nhwc,
+    nhwc_to_chwn,
+    nhwc_to_nchw,
+    rotate_filter_180,
+    transpose_filter_forward,
+    untranspose_filter_forward,
+)
+from .frontends import conv2d_im2col_winograd_chwn, conv2d_im2col_winograd_nchw
+from .tensor import ConvShape, col2im_nhwc, conv_output_size, im2col_nhwc, pad_nhwc
+from .tiles import extract_width_tiles, tile_count, tile_overlap
+
+__all__ = [
+    "ConvShape",
+    "conv_output_size",
+    "pad_nhwc",
+    "im2col_nhwc",
+    "col2im_nhwc",
+    "nchw_to_nhwc",
+    "nhwc_to_nchw",
+    "chwn_to_nhwc",
+    "nhwc_to_chwn",
+    "transpose_filter_forward",
+    "untranspose_filter_forward",
+    "rotate_filter_180",
+    "filter_transposition_bytes",
+    "extract_width_tiles",
+    "conv2d_im2col_winograd_nchw",
+    "conv2d_im2col_winograd_chwn",
+    "tile_overlap",
+    "tile_count",
+]

@@ -1,0 +1,83 @@
+"""NCHW / CHWN front-ends for the fused convolution (§7).
+
+The conclusion notes that "in addition to NHWC format, our implementations
+can be ported to NCHW and CHWN formats while remaining efficiency".  On a
+GPU that porting changes the load/store address math; in this NumPy
+reproduction the arithmetic core is layout-agnostic, so the port is a pair
+of thin adapters that accept the other layouts, convert, run the NHWC
+kernel, and convert back — with the layout conversions made explicit so
+their cost is visible (and so the performance model can charge them if a
+caller asks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layouts import chwn_to_nhwc, nchw_to_nhwc, nhwc_to_chwn, nhwc_to_nchw
+
+__all__ = ["conv2d_im2col_winograd_nchw", "conv2d_im2col_winograd_chwn"]
+
+
+def conv2d_im2col_winograd_nchw(
+    x: np.ndarray,
+    w: np.ndarray,
+    *,
+    ph: int | None = None,
+    pw: int | None = None,
+    alpha: int | None = None,
+    dtype: np.dtype | type = np.float32,
+) -> np.ndarray:
+    """Fused Winograd convolution for NCHW activations.
+
+    Parameters
+    ----------
+    x:
+        Input ``(N, C, H, W)``.
+    w:
+        Filters ``(OC, IC, FH, FW)`` (the PyTorch/NCHW convention).
+
+    Returns
+    -------
+    ``(N, OC, OH, OW)``.
+    """
+    from ..core.fused import conv2d_im2col_winograd  # lazy: avoid cycle
+
+    if x.ndim != 4 or w.ndim != 4:
+        raise ValueError(f"expected 4D x and w, got ndim {x.ndim} and {w.ndim}")
+    x_nhwc = nchw_to_nhwc(x)
+    w_nhwc = np.ascontiguousarray(w.transpose(0, 2, 3, 1))  # (OC, FH, FW, IC)
+    y = conv2d_im2col_winograd(x_nhwc, w_nhwc, ph=ph, pw=pw, alpha=alpha, dtype=dtype)
+    return nhwc_to_nchw(y)
+
+
+def conv2d_im2col_winograd_chwn(
+    x: np.ndarray,
+    w: np.ndarray,
+    *,
+    ph: int | None = None,
+    pw: int | None = None,
+    alpha: int | None = None,
+    dtype: np.dtype | type = np.float32,
+) -> np.ndarray:
+    """Fused Winograd convolution for CHWN activations (the cuda-convnet
+    layout some older Winograd implementations target, §1).
+
+    Parameters
+    ----------
+    x:
+        Input ``(C, H, W, N)``.
+    w:
+        Filters ``(OC, FH, FW, IC)`` (unchanged — CHWN frameworks typically
+        keep filters channels-last already).
+
+    Returns
+    -------
+    ``(OC', OH, OW, N)`` i.e. output channels leading, batch trailing.
+    """
+    from ..core.fused import conv2d_im2col_winograd  # lazy: avoid cycle
+
+    if x.ndim != 4 or w.ndim != 4:
+        raise ValueError(f"expected 4D x and w, got ndim {x.ndim} and {w.ndim}")
+    y = conv2d_im2col_winograd(chwn_to_nhwc(x), w, ph=ph, pw=pw, alpha=alpha, dtype=dtype)
+    return nhwc_to_chwn(y)

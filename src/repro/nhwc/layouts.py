@@ -1,0 +1,87 @@
+"""Tensor-layout conversions and the forward filter transposition.
+
+The paper stores filters as ``(OC, FH, FW, IC)`` but transposes them into
+``(FH, FW, IC, OC)`` before forward convolution "to achieve more vectorized
+and continuous data loads" (Section 5.1).  On the GPU this changes the memory
+walk; in NumPy it changes which axis is contiguous in the hot einsum, and the
+performance model charges its (small) cost unless the caller opts into the
+paper's ``*`` variants that pre-transpose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "nchw_to_nhwc",
+    "nhwc_to_nchw",
+    "chwn_to_nhwc",
+    "nhwc_to_chwn",
+    "transpose_filter_forward",
+    "untranspose_filter_forward",
+    "rotate_filter_180",
+    "filter_transposition_bytes",
+]
+
+
+def nchw_to_nhwc(x: np.ndarray) -> np.ndarray:
+    """``(N, C, H, W) -> (N, H, W, C)`` (contiguous copy)."""
+    if x.ndim != 4:
+        raise ValueError(f"expected 4D tensor, got ndim={x.ndim}")
+    return np.ascontiguousarray(x.transpose(0, 2, 3, 1))
+
+
+def nhwc_to_nchw(x: np.ndarray) -> np.ndarray:
+    """``(N, H, W, C) -> (N, C, H, W)`` (contiguous copy)."""
+    if x.ndim != 4:
+        raise ValueError(f"expected 4D tensor, got ndim={x.ndim}")
+    return np.ascontiguousarray(x.transpose(0, 3, 1, 2))
+
+
+def chwn_to_nhwc(x: np.ndarray) -> np.ndarray:
+    """``(C, H, W, N) -> (N, H, W, C)`` (contiguous copy)."""
+    if x.ndim != 4:
+        raise ValueError(f"expected 4D tensor, got ndim={x.ndim}")
+    return np.ascontiguousarray(x.transpose(3, 1, 2, 0))
+
+
+def nhwc_to_chwn(x: np.ndarray) -> np.ndarray:
+    """``(N, H, W, C) -> (C, H, W, N)`` (contiguous copy)."""
+    if x.ndim != 4:
+        raise ValueError(f"expected 4D tensor, got ndim={x.ndim}")
+    return np.ascontiguousarray(x.transpose(3, 1, 2, 0))
+
+
+def transpose_filter_forward(w: np.ndarray) -> np.ndarray:
+    """``(OC, FH, FW, IC) -> (FH, FW, IC, OC)`` — the Section 5.1 transposition."""
+    if w.ndim != 4:
+        raise ValueError(f"expected 4D filter, got ndim={w.ndim}")
+    return np.ascontiguousarray(w.transpose(1, 2, 3, 0))
+
+
+def untranspose_filter_forward(wt: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`transpose_filter_forward`."""
+    if wt.ndim != 4:
+        raise ValueError(f"expected 4D filter, got ndim={wt.ndim}")
+    return np.ascontiguousarray(wt.transpose(3, 0, 1, 2))
+
+
+def rotate_filter_180(w: np.ndarray) -> np.ndarray:
+    """Spatially rotate ``(OC, FH, FW, IC)`` filters by 180 degrees.
+
+    Backward "deconvolution" correlates the output gradient with the rotated
+    filter; the paper fuses this rotation into the filter transformation
+    (Section 5.1) and so does :mod:`repro.core.gradients`.
+    """
+    if w.ndim != 4:
+        raise ValueError(f"expected 4D filter, got ndim={w.ndim}")
+    return w[:, ::-1, ::-1, :]
+
+
+def filter_transposition_bytes(oc: int, fh: int, fw: int, ic: int, itemsize: int = 4) -> int:
+    """Bytes moved by the forward filter transposition (read + write).
+
+    Used by the performance model to charge the transposition cost that the
+    paper's non-``*`` measurements include.
+    """
+    return 2 * oc * fh * fw * ic * itemsize

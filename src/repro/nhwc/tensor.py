@@ -1,0 +1,188 @@
+"""NHWC tensor utilities: shape math, padding, im2col / col2im.
+
+Everything in this package treats 4D activations as ``(N, H, W, C)`` and
+filters as ``(OC, FH, FW, IC)`` — the paper's Table 1 conventions.  Only unit
+stride is supported by the Winograd paths (the paper's kernels are unit-stride
+by design; strided convolutions are routed to GEMM by the planner, matching
+Dragon-Alpha's dispatch described in Section 5.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ConvShape",
+    "conv_output_size",
+    "pad_nhwc",
+    "im2col_nhwc",
+    "col2im_nhwc",
+]
+
+
+@dataclass(frozen=True)
+class ConvShape:
+    """Complete description of one 2D convolution problem (Table 1 notation).
+
+    ``stride`` applies to both spatial axes; the Winograd kernels require
+    ``stride == 1``.
+    """
+
+    batch: int
+    ih: int
+    iw: int
+    ic: int
+    oc: int
+    fh: int
+    fw: int
+    ph: int = 0
+    pw: int = 0
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("batch", "ih", "iw", "ic", "oc", "fh", "fw"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+        for name in ("ph", "pw"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if self.stride < 1:
+            raise ValueError(f"stride must be >= 1, got {self.stride}")
+        if self.oh < 1 or self.ow < 1:
+            raise ValueError(f"empty output feature map for {self!r}")
+
+    @property
+    def oh(self) -> int:
+        return conv_output_size(self.ih, self.fh, self.ph, self.stride)
+
+    @property
+    def ow(self) -> int:
+        return conv_output_size(self.iw, self.fw, self.pw, self.stride)
+
+    @property
+    def input_shape(self) -> tuple[int, int, int, int]:
+        return (self.batch, self.ih, self.iw, self.ic)
+
+    @property
+    def filter_shape(self) -> tuple[int, int, int, int]:
+        return (self.oc, self.fh, self.fw, self.ic)
+
+    @property
+    def output_shape(self) -> tuple[int, int, int, int]:
+        return (self.batch, self.oh, self.ow, self.oc)
+
+    @property
+    def flops(self) -> int:
+        """Standard-convolution FLOPs: ``2 * N * OC * OH * OW * FH * FW * IC``.
+
+        This is the numerator of the paper's Gflop/s metric (Section 6.1.1),
+        used for *every* algorithm regardless of how many multiplications it
+        actually performs.
+        """
+        return 2 * self.batch * self.oc * self.oh * self.ow * self.fh * self.fw * self.ic
+
+    @classmethod
+    def from_ofm(
+        cls,
+        batch: int,
+        oh: int,
+        ow: int,
+        oc: int,
+        *,
+        r: int,
+        ic: int | None = None,
+        stride: int = 1,
+    ) -> "ConvShape":
+        """Build the shape the paper's experiments use from an ofm spec.
+
+        Experiments 1 and 2 specify problems by output shape ``N×OH×OW×OC``
+        with ``r × r`` filters, ``⌊r/2⌋`` padding and ``IC == OC`` (Section
+        6); this constructor inverts the output-size formula accordingly.
+        """
+        ph = pw = r // 2
+        ih = (oh - 1) * stride + r - 2 * ph
+        iw = (ow - 1) * stride + r - 2 * pw
+        return cls(
+            batch=batch,
+            ih=ih,
+            iw=iw,
+            ic=oc if ic is None else ic,
+            oc=oc,
+            fh=r,
+            fw=r,
+            ph=ph,
+            pw=pw,
+            stride=stride,
+        )
+
+
+def conv_output_size(size: int, filt: int, pad: int, stride: int = 1) -> int:
+    """Output extent of one axis: ``(size + 2*pad - filt) // stride + 1``."""
+    return (size + 2 * pad - filt) // stride + 1
+
+
+def pad_nhwc(x: np.ndarray, ph: int, pw: int) -> np.ndarray:
+    """Zero-pad the spatial axes of an NHWC tensor.
+
+    Returns ``x`` itself when both pads are zero (view semantics; callers must
+    not mutate).
+    """
+    if x.ndim != 4:
+        raise ValueError(f"expected NHWC tensor, got ndim={x.ndim}")
+    if ph == 0 and pw == 0:
+        return x
+    return np.pad(x, ((0, 0), (ph, ph), (pw, pw), (0, 0)))
+
+
+def im2col_nhwc(x: np.ndarray, fh: int, fw: int, ph: int, pw: int, stride: int = 1) -> np.ndarray:
+    """Stage-1 Im2col operator (paper Section 4.1).
+
+    Transforms ifms ``X (N, IH, IW, IC)`` into the matrix
+    ``B ∈ R^{GM × GK}`` with ``GM = N*OH*OW`` and ``GK = FH*FW*IC``, laid out
+    so that column blocks run ``(fh, fw, ic)`` — the order Stage 2's sliding
+    windows assume.
+    """
+    n, ih, iw, ic = x.shape
+    oh = conv_output_size(ih, fh, ph, stride)
+    ow = conv_output_size(iw, fw, pw, stride)
+    xp = pad_nhwc(x, ph, pw)
+    # Gather windows via stride tricks: (N, OH, OW, FH, FW, IC) view.
+    sn, sh, sw, sc = xp.strides
+    windows = np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(n, oh, ow, fh, fw, ic),
+        strides=(sn, sh * stride, sw * stride, sh, sw, sc),
+        writeable=False,
+    )
+    return windows.reshape(n * oh * ow, fh * fw * ic).copy()
+
+
+def col2im_nhwc(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    fh: int,
+    fw: int,
+    ph: int,
+    pw: int,
+    stride: int = 1,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col_nhwc` (scatter-add), used by gradients.
+
+    ``cols`` has shape ``(N*OH*OW, FH*FW*IC)``; overlapping window
+    contributions are summed back into an ``input_shape`` NHWC tensor.
+    """
+    n, ih, iw, ic = input_shape
+    oh = conv_output_size(ih, fh, ph, stride)
+    ow = conv_output_size(iw, fw, pw, stride)
+    xp = np.zeros((n, ih + 2 * ph, iw + 2 * pw, ic), dtype=cols.dtype)
+    cols6 = cols.reshape(n, oh, ow, fh, fw, ic)
+    for i in range(fh):
+        for j in range(fw):
+            xp[:, i : i + oh * stride : stride, j : j + ow * stride : stride, :] += cols6[
+                :, :, :, i, j, :
+            ]
+    if ph == 0 and pw == 0:
+        return xp
+    return xp[:, ph : ph + ih, pw : pw + iw, :]

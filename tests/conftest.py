@@ -1,0 +1,24 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic per-test RNG."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+def rel_err(got: np.ndarray, want: np.ndarray) -> float:
+    """Max |got - want| normalised by the magnitude scale of ``want``."""
+    scale = max(float(np.abs(want).max()), 1e-12)
+    return float(np.abs(got.astype(np.float64) - want.astype(np.float64)).max()) / scale
+
+
+#: FP32 agreement tolerances by Winograd state count: alpha=16 transform
+#: matrices have entry-magnitude disparity ~1e8, so its FP32 error floor is
+#: ~1e-4 in max-relative terms (Table 3 reports ~1e-5 *average*).
+TOL_BY_ALPHA = {None: 2e-5, 4: 2e-5, 8: 5e-5, 16: 2e-3}

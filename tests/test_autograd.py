@@ -1,0 +1,133 @@
+"""Tests for the tape autograd engine (repro.dlframe.autograd)."""
+
+import numpy as np
+import pytest
+
+from repro.dlframe.autograd import GRAD_ENABLED, Tensor, no_grad
+
+
+def numgrad(f, x, eps=1e-4):
+    """Central finite differences of a scalar function of one array."""
+    g = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        i = it.multi_index
+        xp, xm = x.copy(), x.copy()
+        xp[i] += eps
+        xm[i] -= eps
+        g[i] = (f(xp) - f(xm)) / (2 * eps)
+        it.iternext()
+    return g
+
+
+class TestBasics:
+    def test_scalar_backward(self):
+        x = Tensor(np.array(3.0), requires_grad=True)
+        y = x * x
+        y.backward()
+        assert y.data == 9.0
+        np.testing.assert_allclose(x.grad, 6.0)
+
+    def test_add_sub_neg(self, rng):
+        a = Tensor(rng.standard_normal(5), requires_grad=True)
+        b = Tensor(rng.standard_normal(5), requires_grad=True)
+        (a + b - a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, 1 - b.data, rtol=1e-6)
+        np.testing.assert_allclose(b.grad, 1 - a.data, rtol=1e-6)
+
+    def test_broadcast_add(self, rng):
+        a = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal(3), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(b.grad, np.full(3, 4.0))
+        np.testing.assert_allclose(a.grad, np.ones((4, 3)))
+
+    def test_matmul_gradcheck(self, rng):
+        a0 = rng.standard_normal((3, 4))
+        b0 = rng.standard_normal((4, 2))
+        a = Tensor(a0.copy(), requires_grad=True)
+        b = Tensor(b0.copy(), requires_grad=True)
+        a.matmul(b).sum().backward()
+        np.testing.assert_allclose(
+            a.grad, numgrad(lambda x: (x @ b0).sum(), a0), rtol=1e-5, atol=1e-6
+        )
+        np.testing.assert_allclose(
+            b.grad, numgrad(lambda x: (a0 @ x).sum(), b0), rtol=1e-5, atol=1e-6
+        )
+
+    def test_mean_and_reshape(self, rng):
+        x = Tensor(rng.standard_normal((2, 6)), requires_grad=True)
+        x.reshape(3, 4).mean().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 6), 1 / 12))
+
+
+class TestGraphMechanics:
+    def test_fanout_accumulates(self):
+        """Diamond graph: gradient contributions from both paths sum."""
+        x = Tensor(np.array(2.0), requires_grad=True)
+        y = x * x + x * x
+        y.backward()
+        np.testing.assert_allclose(x.grad, 8.0)
+
+    def test_deep_chain(self):
+        x = Tensor(np.array(1.5), requires_grad=True)
+        y = x
+        for _ in range(50):
+            y = y + x
+        y.backward()
+        np.testing.assert_allclose(x.grad, 51.0)
+
+    def test_shared_subexpression_evaluated_once_backward(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        s = x * x  # used twice
+        y = (s + s).sum()
+        y.backward()
+        np.testing.assert_allclose(x.grad, 4 * x.data)
+
+    def test_no_grad_context(self, rng):
+        with no_grad():
+            x = Tensor(rng.standard_normal(3), requires_grad=True)
+            y = x * x
+        assert not x.requires_grad  # created inside no_grad
+        assert not y.requires_grad
+        assert GRAD_ENABLED.enabled  # restored
+
+    def test_backward_on_nongrad_raises(self):
+        x = Tensor(np.zeros(3))
+        with pytest.raises(RuntimeError, match="does not require grad"):
+            x.backward()
+
+    def test_nonscalar_backward_needs_grad(self):
+        x = Tensor(np.zeros(3), requires_grad=True)
+        with pytest.raises(RuntimeError, match="scalar"):
+            (x + x).backward()
+
+    def test_explicit_vjp(self, rng):
+        x = Tensor(rng.standard_normal(4), requires_grad=True)
+        y = x * x
+        seed = rng.standard_normal(4)
+        y.backward(seed)
+        np.testing.assert_allclose(x.grad, 2 * x.data * seed, rtol=1e-6)
+
+    def test_wrong_grad_shape(self):
+        x = Tensor(np.zeros(3), requires_grad=True)
+        y = x + x
+        with pytest.raises(ValueError, match="shape"):
+            y.backward(np.zeros(4))
+
+    def test_detach_cuts_graph(self, rng):
+        x = Tensor(rng.standard_normal(3), requires_grad=True)
+        y = (x * x).detach()
+        assert not y.requires_grad
+
+    def test_grad_accumulates_across_backwards(self):
+        x = Tensor(np.array(3.0), requires_grad=True)
+        (x * x).backward()
+        (x * x).backward()
+        np.testing.assert_allclose(x.grad, 12.0)
+
+    def test_zero_grad(self):
+        x = Tensor(np.array(3.0), requires_grad=True)
+        (x * x).backward()
+        x.zero_grad()
+        assert x.grad is None

@@ -1,0 +1,96 @@
+"""Property-based autograd checks: random DAGs vs finite differences.
+
+The per-op suites verify each operation in isolation; these build small
+random computation graphs (fan-out, shared subexpressions, mixed ops) and
+check the whole-graph gradient against central differences — the class of
+bug (missed accumulation, wrong topological order) unit tests can miss.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dlframe.autograd import Tensor
+
+
+def build_graph(ops: list[int], x: Tensor, y: Tensor) -> Tensor:
+    """Deterministically build a DAG from an op-code list."""
+    pool = [x, y]
+    for code in ops:
+        a = pool[code % len(pool)]
+        b = pool[(code // 3) % len(pool)]
+        kind = code % 4
+        if kind == 0:
+            pool.append(a + b)
+        elif kind == 1:
+            pool.append(a * b)
+        elif kind == 2:
+            pool.append(a - b)
+        else:
+            pool.append(a * a)
+    out = pool[-1]
+    for t in pool[2:-1]:  # fan everything in so all nodes matter
+        out = out + t
+    return out.sum()
+
+
+@given(
+    ops=st.lists(st.integers(0, 11), min_size=1, max_size=6),
+    seed=st.integers(0, 2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_dag_gradcheck(ops, seed):
+    rng = np.random.default_rng(seed)
+    x0 = rng.uniform(-1, 1, (3,))
+    y0 = rng.uniform(-1, 1, (3,))
+
+    def value(xv, yv) -> float:
+        return float(build_graph(ops, Tensor(xv), Tensor(yv)).data)
+
+    x = Tensor(x0.copy(), requires_grad=True)
+    y = Tensor(y0.copy(), requires_grad=True)
+    build_graph(ops, x, y).backward()
+
+    eps = 1e-6
+    for tensor, base, other in ((x, x0, y0), (y, y0, x0)):
+        for i in range(3):
+            p, m = base.copy(), base.copy()
+            p[i] += eps
+            m[i] -= eps
+            if tensor is x:
+                num = (value(p, other) - value(m, other)) / (2 * eps)
+            else:
+                num = (value(other, p) - value(other, m)) / (2 * eps)
+            got = 0.0 if tensor.grad is None else tensor.grad[i]
+            assert got == pytest.approx(num, rel=1e-4, abs=1e-6), (ops, i)
+
+
+@given(depth=st.integers(1, 30))
+@settings(max_examples=15, deadline=None)
+def test_deep_multiplication_chain(depth):
+    """d/dx of x^(depth+1) = (depth+1) x^depth through a long chain."""
+    x = Tensor(np.array(1.01), requires_grad=True)
+    y = x
+    for _ in range(depth):
+        y = y * x
+    y.backward()
+    expect = (depth + 1) * 1.01**depth
+    assert float(x.grad) == pytest.approx(expect, rel=1e-5)
+
+
+@given(seed=st.integers(0, 2**31))
+@settings(max_examples=20, deadline=None)
+def test_grad_of_reshape_matmul_mix(seed):
+    rng = np.random.default_rng(seed)
+    a0 = rng.standard_normal((2, 6))
+    b0 = rng.standard_normal((3, 2))
+    a = Tensor(a0.copy(), requires_grad=True)
+    b = Tensor(b0.copy(), requires_grad=True)
+    out = b.matmul(a.reshape(2, 6)).sum()
+    out.backward()
+    # d/da of sum(b @ a) = column sums of b broadcast over a's rows
+    expect_a = np.repeat(b0.sum(axis=0)[:, None], 6, axis=1)
+    np.testing.assert_allclose(a.grad, expect_a, rtol=1e-6)
+    expect_b = np.repeat(a0.sum(axis=1)[None, :], 3, axis=0)
+    np.testing.assert_allclose(b.grad, expect_b, rtol=1e-6)

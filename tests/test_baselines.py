@@ -1,0 +1,156 @@
+"""Tests for the baseline convolutions (direct, GEMM, FFT, 2D Winograd)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    conv2d_direct,
+    conv2d_fft,
+    conv2d_gemm,
+    conv2d_winograd2d,
+    items_per_output_2d,
+    states_2d,
+)
+
+from .conftest import rel_err
+
+
+def naive_conv(x, w, ph, pw, stride=1):
+    """Quadruple-loop scalar convolution — slow, unambiguous."""
+    n, ih, iw, ic = x.shape
+    oc, fh, fw, _ = w.shape
+    oh = (ih + 2 * ph - fh) // stride + 1
+    ow = (iw + 2 * pw - fw) // stride + 1
+    xp = np.pad(x.astype(np.float64), ((0, 0), (ph, ph), (pw, pw), (0, 0)))
+    y = np.zeros((n, oh, ow, oc))
+    for b in range(n):
+        for o in range(oc):
+            for i in range(oh):
+                for j in range(ow):
+                    window = xp[b, i * stride : i * stride + fh, j * stride : j * stride + fw, :]
+                    y[b, i, j, o] = (window * w[o].astype(np.float64)).sum()
+    return y
+
+
+class TestDirect:
+    def test_against_naive(self, rng):
+        x = rng.standard_normal((2, 6, 7, 3)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 2, 3)).astype(np.float32)
+        got = conv2d_direct(x, w, ph=1, pw=0)
+        assert rel_err(got, naive_conv(x, w, 1, 0)) < 1e-5
+
+    def test_stride2(self, rng):
+        x = rng.standard_normal((1, 8, 8, 2)).astype(np.float32)
+        w = rng.standard_normal((3, 3, 3, 2)).astype(np.float32)
+        got = conv2d_direct(x, w, ph=1, pw=1, stride=2)
+        assert got.shape == (1, 4, 4, 3)
+        assert rel_err(got, naive_conv(x, w, 1, 1, stride=2)) < 1e-5
+
+    def test_fp64_mode(self, rng):
+        x = rng.standard_normal((1, 5, 5, 2)).astype(np.float32)
+        w = rng.standard_normal((2, 3, 3, 2)).astype(np.float32)
+        y = conv2d_direct(x, w, ph=1, pw=1, dtype=np.float64)
+        assert y.dtype == np.float64
+        np.testing.assert_allclose(y, naive_conv(x, w, 1, 1), rtol=1e-12)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="channel"):
+            conv2d_direct(np.zeros((1, 5, 5, 2), "f4"), np.zeros((2, 3, 3, 3), "f4"))
+        with pytest.raises(ValueError, match="empty"):
+            conv2d_direct(np.zeros((1, 2, 2, 2), "f4"), np.zeros((2, 5, 5, 2), "f4"))
+
+
+class TestGemm:
+    @given(
+        stride=st.integers(1, 2),
+        ph=st.integers(0, 2),
+        pw=st.integers(0, 2),
+        fh=st.sampled_from([1, 2, 3]),
+        fw=st.sampled_from([1, 2, 3]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_direct(self, stride, ph, pw, fh, fw):
+        rng = np.random.default_rng(stride * 1000 + ph * 100 + pw * 10 + fh + fw)
+        x = rng.standard_normal((2, 7, 8, 3)).astype(np.float32)
+        w = rng.standard_normal((4, fh, fw, 3)).astype(np.float32)
+        got = conv2d_gemm(x, w, ph=ph, pw=pw, stride=stride)
+        want = conv2d_direct(x, w, ph=ph, pw=pw, stride=stride, dtype=np.float64)
+        assert rel_err(got, want) < 1e-5
+
+    def test_sequential_accumulation_correct_but_noisier(self, rng):
+        """The CuGEMM-analogue mode stays correct; on long GK reductions its
+        error is at least as large as blocked BLAS accumulation."""
+        x = rng.uniform(1, 2, (2, 8, 8, 64)).astype(np.float32)
+        w = rng.uniform(1, 2, (8, 3, 3, 64)).astype(np.float32)
+        truth = conv2d_direct(x, w, ph=1, pw=1, dtype=np.float64)
+        blas = conv2d_gemm(x, w, ph=1, pw=1)
+        seq = conv2d_gemm(x, w, ph=1, pw=1, accumulation="sequential")
+        e_blas = np.abs(blas - truth).mean()
+        e_seq = np.abs(seq - truth).mean()
+        assert rel_err(seq, truth) < 1e-3  # still correct
+        assert e_seq >= 0.5 * e_blas  # and not magically better
+
+    def test_bad_accumulation_mode(self, rng):
+        with pytest.raises(ValueError, match="accumulation"):
+            conv2d_gemm(
+                np.zeros((1, 4, 4, 1), "f4"), np.zeros((1, 3, 3, 1), "f4"), accumulation="x"
+            )
+
+
+class TestFFT:
+    @pytest.mark.parametrize("r", [2, 3, 5, 9])
+    def test_matches_direct(self, rng, r):
+        x = rng.standard_normal((2, 12, 13, 3)).astype(np.float32)
+        w = rng.standard_normal((4, r, r, 3)).astype(np.float32)
+        got = conv2d_fft(x, w, ph=r // 2, pw=r // 2)
+        want = conv2d_direct(x, w, ph=r // 2, pw=r // 2, dtype=np.float64)
+        assert rel_err(got, want) < 1e-5
+
+    def test_output_dtype_follows_input(self, rng):
+        x = rng.standard_normal((1, 6, 6, 2)).astype(np.float32)
+        w = rng.standard_normal((2, 3, 3, 2)).astype(np.float32)
+        assert conv2d_fft(x, w, ph=1, pw=1).dtype == np.float32
+
+    def test_rectangular_filter(self, rng):
+        x = rng.standard_normal((1, 9, 10, 2)).astype(np.float32)
+        w = rng.standard_normal((3, 2, 5, 2)).astype(np.float32)
+        got = conv2d_fft(x, w, ph=0, pw=2)
+        want = conv2d_direct(x, w, ph=0, pw=2, dtype=np.float64)
+        assert rel_err(got, want) < 1e-5
+
+
+class TestWinograd2D:
+    @pytest.mark.parametrize("m,r", [(2, 3), (3, 3), (2, 5), (4, 3)])
+    def test_matches_direct(self, rng, m, r):
+        x = rng.standard_normal((2, 11, 12, 3)).astype(np.float32)
+        w = rng.standard_normal((4, r, r, 3)).astype(np.float32)
+        got = conv2d_winograd2d(x, w, m=m)
+        want = conv2d_direct(x, w, ph=r // 2, pw=r // 2, dtype=np.float64)
+        assert rel_err(got, want) < 1e-4
+
+    def test_ragged_edges(self, rng):
+        """OH, OW not multiples of m exercise the direct-fill edges."""
+        x = rng.standard_normal((1, 8, 9, 2)).astype(np.float32)  # OH=8, OW=9, m=3
+        w = rng.standard_normal((2, 3, 3, 2)).astype(np.float32)
+        got = conv2d_winograd2d(x, w, m=3)
+        want = conv2d_direct(x, w, ph=1, pw=1, dtype=np.float64)
+        assert rel_err(got, want) < 1e-4
+
+    def test_rejects_rectangular(self, rng):
+        with pytest.raises(ValueError, match="square"):
+            conv2d_winograd2d(
+                np.zeros((1, 6, 6, 1), "f4"), np.zeros((1, 3, 5, 1), "f4")
+            )
+
+    def test_state_count_argument(self):
+        """§4.2: F(2x2,3x3) holds 4^2 states and loads 25/4 items/output;
+        Gamma_8(6,3) holds 8 states and loads 33/6 — fewer on both counts."""
+        from repro.baselines.winograd2d import items_per_output_1d
+
+        assert states_2d(2, 3) == 16
+        assert items_per_output_2d(2, 3) == pytest.approx(25 / 4)
+        assert items_per_output_1d(8, 6, 3, fh=3) == pytest.approx(33 / 6)
+        assert 8 < states_2d(2, 3)
+        assert 33 / 6 < 25 / 4

@@ -1,0 +1,114 @@
+"""Tests for the §5.5 boundary treatment (repro.core.boundary)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.boundary import (
+    GEMM,
+    plan_width_segments,
+    redundant_fraction,
+    segment_chain,
+)
+from repro.core.kernels import get_kernel
+
+
+class TestSegmentChain:
+    def test_figure7_chain_for_fw3(self):
+        """Figure 7: FW=3 chain is Gamma_8(6,3) -> Gamma_4^ruse(2,3) (cov 4)
+        -> Gamma_4(2,3) (cov 2) -> GEMM."""
+        primary = get_kernel(8, 3, "base")
+        chain = segment_chain(3, primary=primary)
+        assert [k.spec.coverage for k in chain][:3] == [6, 4, 2]
+        assert chain[0].alpha == 8
+        assert chain[1].alpha == 4 and chain[1].variant == "ruse"
+        assert chain[2].alpha == 4 and chain[2].variant == "base"
+
+    def test_coverage_strictly_decreasing(self):
+        for r in range(2, 10):
+            covs = [k.spec.coverage for k in segment_chain(r)]
+            assert covs == sorted(set(covs), reverse=True)
+
+    def test_primary_mismatched_width_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            segment_chain(3, primary=get_kernel(8, 5, "base"))
+
+
+class TestPlanWidthSegments:
+    @given(ow=st.integers(1, 400), r=st.integers(2, 9))
+    @settings(max_examples=200, deadline=None)
+    def test_exact_disjoint_cover(self, ow, r):
+        """Invariant 3 of DESIGN.md: disjoint, sorted, exact cover of [0, ow)."""
+        segs = plan_width_segments(ow, r)
+        assert segs[0].start == 0
+        pos = 0
+        for s in segs:
+            assert s.start == pos
+            assert s.width >= 1
+            pos += s.width
+        assert pos == ow
+
+    @given(ow=st.integers(1, 400), r=st.integers(2, 9))
+    @settings(max_examples=200, deadline=None)
+    def test_winograd_segments_divisible(self, ow, r):
+        for s in plan_width_segments(ow, r):
+            if not s.is_gemm:
+                assert s.width % s.kernel.spec.coverage == 0
+
+    @given(ow=st.integers(1, 400), r=st.integers(2, 9))
+    @settings(max_examples=200, deadline=None)
+    def test_at_most_one_gemm_tail(self, ow, r):
+        segs = plan_width_segments(ow, r)
+        gemm = [s for s in segs if s.is_gemm]
+        assert len(gemm) <= 1
+        if gemm:
+            assert segs[-1].is_gemm  # tail position
+            # GEMM only gets what no Winograd kernel divides
+            min_cov = min(k.spec.coverage for k in segment_chain(r))
+            assert gemm[0].width < min_cov
+
+    def test_paper_example_ow7_fw3(self):
+        """OW=7, FW=3: Gamma_8(6,3) takes 6 columns, GEMM takes 1."""
+        segs = plan_width_segments(7, 3, primary=get_kernel(8, 3))
+        assert (segs[0].name, segs[0].width) == ("Gamma_8(6,3)", 6)
+        assert segs[-1].is_gemm and segs[-1].width == 1
+
+    def test_exact_fit_single_segment(self):
+        """OW divisible by n -> the primary kernel owns everything."""
+        segs = plan_width_segments(60, 3, primary=get_kernel(8, 3))
+        assert len(segs) == 1 and segs[0].width == 60
+
+    def test_multi_stage_remainder(self):
+        """OW=65, FW=3: 60 to Gamma_8(6,3), 4 to Gamma_4^ruse(2,3), 1 to GEMM."""
+        segs = plan_width_segments(65, 3, primary=get_kernel(8, 3))
+        assert [(s.name, s.width) for s in segs] == [
+            ("Gamma_8(6,3)", 60),
+            ("Gamma^ruse_4(2,3)", 4),
+            ("GEMM", 1),
+        ]
+
+    def test_invalid_ow(self):
+        with pytest.raises(ValueError):
+            plan_width_segments(0, 3)
+
+    def test_gemm_marker(self):
+        seg = plan_width_segments(1, 3)[0]
+        assert seg.is_gemm and seg.kernel == GEMM and seg.name == "GEMM"
+
+
+class TestRedundantFraction:
+    def test_paper_example(self):
+        """OW=7 under n=6: two tiles, 5 of 12 columns of work wasted."""
+        assert redundant_fraction(7, 6) == pytest.approx(5 / 12)
+
+    def test_exact_cover_no_waste(self):
+        assert redundant_fraction(12, 6) == 0.0
+
+    @given(ow=st.integers(1, 100), n=st.integers(1, 16))
+    def test_bounded(self, ow, n):
+        f = redundant_fraction(ow, n)
+        assert 0.0 <= f < 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            redundant_fraction(0, 3)

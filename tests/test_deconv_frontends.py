@@ -1,0 +1,96 @@
+"""Tests for the deconvolution API and the NCHW/CHWN front-ends."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import conv2d_direct
+from repro.core import conv2d_im2col_winograd, deconv2d_im2col_winograd
+from repro.nhwc import conv2d_im2col_winograd_chwn, conv2d_im2col_winograd_nchw
+
+from .conftest import rel_err
+
+
+class TestDeconv:
+    def test_shape_growth(self, rng):
+        """Unpadded transposed conv grows by f - 1 per axis."""
+        y = rng.standard_normal((2, 6, 7, 4)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 5, 8)).astype(np.float32)
+        out = deconv2d_im2col_winograd(y, w, ph=0, pw=0)
+        assert out.shape == (2, 8, 11, 8)
+
+    def test_same_padding_keeps_size(self, rng):
+        y = rng.standard_normal((2, 6, 8, 4)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 8)).astype(np.float32)
+        assert deconv2d_im2col_winograd(y, w).shape == (2, 6, 8, 8)
+
+    def test_adjoint_of_forward(self, rng):
+        """<conv(x, w), y> == <x, deconv(y, w)> — the defining property."""
+        x = rng.standard_normal((1, 7, 9, 3)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        fwd = conv2d_im2col_winograd(x, w)
+        y = rng.standard_normal(fwd.shape).astype(np.float32)
+        back = deconv2d_im2col_winograd(y, w)
+        lhs = float((fwd.astype(np.float64) * y).sum())
+        rhs = float((x.astype(np.float64) * back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-4)
+
+    def test_engines_agree(self, rng):
+        y = rng.standard_normal((2, 10, 11, 4)).astype(np.float32)
+        w = rng.standard_normal((4, 5, 5, 6)).astype(np.float32)
+        a = deconv2d_im2col_winograd(y, w)
+        b = deconv2d_im2col_winograd(y, w, engine="gemm")
+        np.testing.assert_allclose(a, b, rtol=1e-3, atol=1e-4)
+
+    def test_explicit_output_shape(self, rng):
+        y = rng.standard_normal((1, 6, 6, 2)).astype(np.float32)
+        w = rng.standard_normal((2, 3, 3, 3)).astype(np.float32)
+        out = deconv2d_im2col_winograd(y, w, output_shape=(6, 6))
+        assert out.shape == (1, 6, 6, 3)
+        with pytest.raises(ValueError, match="inconsistent"):
+            deconv2d_im2col_winograd(y, w, output_shape=(9, 9))
+
+    def test_channel_mismatch(self, rng):
+        with pytest.raises(ValueError, match="channel"):
+            deconv2d_im2col_winograd(
+                np.zeros((1, 4, 4, 3), "f4"), np.zeros((2, 3, 3, 3), "f4")
+            )
+
+
+class TestLayoutFrontends:
+    def test_nchw_matches_nhwc(self, rng):
+        x_nchw = rng.standard_normal((2, 5, 9, 10)).astype(np.float32)
+        w_nchw = rng.standard_normal((6, 5, 3, 3)).astype(np.float32)
+        got = conv2d_im2col_winograd_nchw(x_nchw, w_nchw)
+        # reference through the NHWC core
+        x = np.ascontiguousarray(x_nchw.transpose(0, 2, 3, 1))
+        w = np.ascontiguousarray(w_nchw.transpose(0, 2, 3, 1))
+        want = conv2d_im2col_winograd(x, w).transpose(0, 3, 1, 2)
+        np.testing.assert_array_equal(got, want)
+
+    def test_nchw_against_direct(self, rng):
+        x_nchw = rng.standard_normal((1, 4, 8, 9)).astype(np.float32)
+        w_nchw = rng.standard_normal((3, 4, 5, 5)).astype(np.float32)
+        got = conv2d_im2col_winograd_nchw(x_nchw, w_nchw)
+        x = np.ascontiguousarray(x_nchw.transpose(0, 2, 3, 1))
+        w = np.ascontiguousarray(w_nchw.transpose(0, 2, 3, 1))
+        want = conv2d_direct(x, w, ph=2, pw=2, dtype=np.float64).transpose(0, 3, 1, 2)
+        assert rel_err(got, want) < 1e-4
+
+    def test_chwn_roundtrip(self, rng):
+        x_chwn = rng.standard_normal((4, 7, 9, 2)).astype(np.float32)
+        w = rng.standard_normal((5, 3, 3, 4)).astype(np.float32)
+        got = conv2d_im2col_winograd_chwn(x_chwn, w)
+        assert got.shape == (5, 7, 9, 2)
+        x_nhwc = np.ascontiguousarray(x_chwn.transpose(3, 1, 2, 0))
+        want = conv2d_im2col_winograd(x_nhwc, w).transpose(3, 1, 2, 0)
+        np.testing.assert_array_equal(got, want)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="4D"):
+            conv2d_im2col_winograd_nchw(
+                np.zeros((2, 3, 4), "f4"), np.zeros((2, 3, 3, 3), "f4")
+            )
+        with pytest.raises(ValueError, match="4D"):
+            conv2d_im2col_winograd_chwn(
+                np.zeros((2, 3, 4), "f4"), np.zeros((2, 3, 3, 3), "f4")
+            )

@@ -1,0 +1,71 @@
+"""Tests for the a priori error model (repro.core.erroranalysis)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import conv2d_direct
+from repro.core import conv2d_im2col_winograd
+from repro.core.erroranalysis import (
+    error_amplification,
+    predicted_error_scale,
+    rank_schemes,
+)
+
+
+def measured_error(n: int, r: int, seed: int = 17) -> float:
+    """Mean relative FP32 error of Gamma with scheme F(n, r) on U[1,2]."""
+    rng = np.random.default_rng(seed)
+    ow = n * max(2, 16 // n)
+    iw = ow + r - 1
+    x = rng.uniform(1, 2, (2, 12, iw, 16)).astype(np.float32)
+    w = rng.uniform(1, 2, (4, 3, r, 16)).astype(np.float32)
+    got = conv2d_im2col_winograd(x, w, ph=1, pw=0, alpha=n + r - 1)
+    truth = conv2d_direct(x, w, ph=1, pw=0, dtype=np.float64)
+    return float(np.mean(np.abs(got - truth) / np.abs(truth)))
+
+
+class TestPrediction:
+    def test_alpha16_predicted_far_worse_than_alpha8(self):
+        assert error_amplification(8, 9) > 50 * error_amplification(6, 3)
+
+    def test_prediction_scales_with_dtype(self):
+        fp16 = predicted_error_scale(6, 3, dtype=np.float16)
+        fp32 = predicted_error_scale(6, 3, dtype=np.float32)
+        fp64 = predicted_error_scale(6, 3, dtype=np.float64)
+        assert fp16 > 1000 * fp32 > 1e6 * fp64 / 1e3  # eps ladder
+
+    def test_fp16_alpha16_predicted_unusable(self):
+        """The guard in conv2d_im2col_winograd comes from this prediction:
+        at alpha=16 the proxy exceeds 100% relative error in fp16."""
+        assert predicted_error_scale(8, 9, dtype=np.float16) > 1.0
+        assert predicted_error_scale(6, 3, dtype=np.float16) < 1.0
+
+    def test_rank_ordering(self):
+        ranked = rank_schemes([(8, 9), (6, 3), (4, 5), (2, 3)])
+        assert ranked[0] == (2, 3)  # smallest scheme most accurate
+        assert ranked[-1] == (8, 9)
+
+    def test_prediction_separates_alpha_classes(self):
+        """What §6.2.2 actually claims — and what measures: the alpha=16
+        scheme is both predicted and measured far worse than every alpha=8
+        scheme.  *Within* alpha=8 the measured errors are flat (~6-7e-8):
+        there the channel-summation error dominates the transform error, so
+        the per-scheme proxy ranking is not observable — asserted too."""
+        a8 = [(6, 3), (4, 5), (2, 7)]
+        m8 = [measured_error(n, r) for n, r in a8]
+        m16 = measured_error(8, 9)
+        assert m16 > 10 * max(m8)
+        assert error_amplification(8, 9) > 100 * max(
+            error_amplification(n, r) for n, r in a8
+        )
+        # flatness within alpha=8: all within a factor of 2
+        assert max(m8) < 2 * min(m8)
+
+    def test_bound_is_conservative(self):
+        """Predicted scale upper-bounds the measured mean error."""
+        for n, r in [(6, 3), (4, 5), (8, 9)]:
+            assert predicted_error_scale(n, r) > measured_error(n, r)
+
+    def test_amplification_unit_for_trivial_scheme(self):
+        """F(1,1) is a plain multiply: no amplification beyond direct."""
+        assert error_amplification(1, 1) == pytest.approx(1.0)

@@ -1,0 +1,29 @@
+"""Run every example end to end — examples are part of the contract.
+
+Each ``examples/*.py`` contains its own assertions; executing it under
+``runpy`` keeps the shipped walkthroughs permanently green.  These are the
+slowest unit tests (~seconds each) but they cover exactly the paths a new
+user hits first.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted((pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys, monkeypatch):
+    # Examples print; keep their stdout out of the test log unless they fail.
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out  # every example narrates what it does
+
+
+def test_all_examples_discovered():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "multiscale_features", "train_cnn", "kernel_planning", "beyond_2d"} <= names

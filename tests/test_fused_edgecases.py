@@ -1,0 +1,101 @@
+"""Edge-case battery for the fused convolution and its substrates."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import conv2d_direct
+from repro.core import conv2d_im2col_winograd
+from repro.nhwc import ConvShape
+
+from .conftest import TOL_BY_ALPHA, rel_err
+
+
+class TestDegenerateGeometry:
+    def test_single_channel_in_and_out(self, rng):
+        x = rng.standard_normal((1, 8, 13, 1)).astype(np.float32)
+        w = rng.standard_normal((1, 3, 3, 1)).astype(np.float32)
+        got = conv2d_im2col_winograd(x, w)
+        want = conv2d_direct(x, w, ph=1, pw=1, dtype=np.float64)
+        assert rel_err(got, want) < TOL_BY_ALPHA[8]
+
+    def test_batch_one(self, rng):
+        x = rng.standard_normal((1, 6, 9, 3)).astype(np.float32)
+        w = rng.standard_normal((2, 3, 3, 3)).astype(np.float32)
+        got = conv2d_im2col_winograd(x, w)
+        want = conv2d_direct(x, w, ph=1, pw=1, dtype=np.float64)
+        assert rel_err(got, want) < TOL_BY_ALPHA[8]
+
+    def test_input_width_equals_filter_width_no_pad(self, rng):
+        """OW == 1: everything goes to the GEMM tail."""
+        x = rng.standard_normal((2, 6, 5, 3)).astype(np.float32)
+        w = rng.standard_normal((2, 3, 5, 3)).astype(np.float32)
+        got = conv2d_im2col_winograd(x, w, ph=1, pw=0)
+        assert got.shape[2] == 1
+        want = conv2d_direct(x, w, ph=1, pw=0, dtype=np.float64)
+        assert rel_err(got, want) < 1e-5
+
+    def test_output_height_one(self, rng):
+        x = rng.standard_normal((2, 3, 14, 3)).astype(np.float32)
+        w = rng.standard_normal((2, 3, 3, 3)).astype(np.float32)
+        got = conv2d_im2col_winograd(x, w, ph=0, pw=1)
+        assert got.shape[1] == 1
+        want = conv2d_direct(x, w, ph=0, pw=1, dtype=np.float64)
+        assert rel_err(got, want) < TOL_BY_ALPHA[8]
+
+    def test_very_wide_thin_input(self, rng):
+        x = rng.standard_normal((1, 3, 200, 2)).astype(np.float32)
+        w = rng.standard_normal((2, 3, 3, 2)).astype(np.float32)
+        got = conv2d_im2col_winograd(x, w)
+        want = conv2d_direct(x, w, ph=1, pw=1, dtype=np.float64)
+        assert rel_err(got, want) < TOL_BY_ALPHA[8]
+
+
+class TestSpecialValues:
+    def test_all_zero_input(self, rng):
+        x = np.zeros((1, 6, 12, 3), dtype=np.float32)
+        w = rng.standard_normal((2, 3, 3, 3)).astype(np.float32)
+        np.testing.assert_array_equal(conv2d_im2col_winograd(x, w), 0)
+
+    def test_all_zero_filter(self, rng):
+        x = rng.standard_normal((1, 6, 12, 3)).astype(np.float32)
+        w = np.zeros((2, 3, 3, 3), dtype=np.float32)
+        np.testing.assert_array_equal(conv2d_im2col_winograd(x, w), 0)
+
+    def test_constant_input_interior(self, rng):
+        """A constant interior convolved with any filter gives sum(w)*c away
+        from the (zero-padded) borders."""
+        c = 2.5
+        x = np.full((1, 10, 20, 2), c, dtype=np.float32)
+        w = rng.standard_normal((3, 3, 3, 2)).astype(np.float32)
+        y = conv2d_im2col_winograd(x, w)
+        expect = c * w.sum(axis=(1, 2, 3))
+        np.testing.assert_allclose(y[0, 5, 10], expect, rtol=1e-4)
+
+    def test_large_magnitude_inputs(self, rng):
+        x = (rng.standard_normal((1, 6, 12, 3)) * 1e4).astype(np.float32)
+        w = (rng.standard_normal((2, 3, 3, 3)) * 1e-4).astype(np.float32)
+        got = conv2d_im2col_winograd(x, w)
+        want = conv2d_direct(x, w, ph=1, pw=1, dtype=np.float64)
+        assert rel_err(got, want) < TOL_BY_ALPHA[8]
+
+    def test_non_contiguous_input_accepted(self, rng):
+        base = rng.standard_normal((1, 6, 24, 6)).astype(np.float32)
+        x = base[:, :, ::2, ::2]  # non-contiguous view
+        w = rng.standard_normal((2, 3, 3, 3)).astype(np.float32)
+        got = conv2d_im2col_winograd(np.ascontiguousarray(x), w)
+        got_view = conv2d_im2col_winograd(x, w)
+        np.testing.assert_allclose(got_view, got, rtol=1e-6)
+
+
+class TestConvShapeEdges:
+    def test_from_ofm_even_filter(self):
+        """Even filters have asymmetric effective padding; from_ofm still
+        inverts the size formula."""
+        for r in (2, 4, 6, 8):
+            s = ConvShape.from_ofm(4, 10, 12, 16, r=r)
+            assert (s.oh, s.ow) == (10, 12), r
+
+    def test_flops_overflow_safety(self):
+        """Python ints: the biggest paper shape must not overflow."""
+        s = ConvShape.from_ofm(256, 128, 128, 64, r=9)
+        assert s.flops > 2**40  # ~3e13 flops, exact integer

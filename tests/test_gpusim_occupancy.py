@@ -1,0 +1,139 @@
+"""Tests for occupancy, blocking and device specs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.variants import variant_spec
+from repro.gpusim.blocking import grid_for, iterations_per_block
+from repro.gpusim.device import DEVICES, RTX3060TI, RTX4090
+from repro.gpusim.occupancy import occupancy_for
+from repro.nhwc.tensor import ConvShape
+
+
+class TestDeviceSpecs:
+    def test_registry(self):
+        assert set(DEVICES) == {"RTX3060Ti", "RTX4090"}
+
+    def test_4090_is_bigger_everywhere(self):
+        assert RTX4090.peak_fp32_gflops > 4 * RTX3060TI.peak_fp32_gflops
+        assert RTX4090.l2_bytes > 10 * RTX3060TI.l2_bytes
+        assert RTX4090.sm_count > RTX3060TI.sm_count
+
+    def test_paper_smem_cap(self):
+        """§4.1: 'the max SMEM for a block is 49152 bytes'."""
+        assert RTX3060TI.max_smem_per_block == 49152
+        assert RTX4090.max_smem_per_block == 49152
+
+    def test_warp_geometry(self):
+        assert RTX3060TI.warp_size == 32 and RTX3060TI.smem_banks == 32
+        assert RTX3060TI.max_warps_per_sm == 48
+
+
+class TestOccupancy:
+    def test_gamma8_two_blocks_resident(self):
+        """Gamma_8 uses the full 49152 B: exactly 2 blocks fit in 100 KiB."""
+        spec = variant_spec(8, 6, 3)
+        occ = occupancy_for(
+            RTX3060TI,
+            threads_per_block=spec.threads,
+            smem_per_block=spec.smem_bytes,
+            regs_per_thread=spec.regs_per_thread,
+        )
+        assert occ.blocks_per_sm == 2
+        assert occ.active_warps == 16
+
+    def test_limiter_reported(self):
+        occ = occupancy_for(
+            RTX3060TI, threads_per_block=256, smem_per_block=49152, regs_per_thread=32
+        )
+        assert occ.limiter == "smem"
+        occ = occupancy_for(
+            RTX3060TI, threads_per_block=256, smem_per_block=1024, regs_per_thread=255
+        )
+        assert occ.limiter == "registers"
+
+    def test_oversized_block_rejected(self):
+        with pytest.raises(ValueError, match="SMEM"):
+            occupancy_for(
+                RTX3060TI, threads_per_block=256, smem_per_block=65536, regs_per_thread=64
+            )
+        with pytest.raises(ValueError, match="1024"):
+            occupancy_for(
+                RTX3060TI, threads_per_block=2048, smem_per_block=1024, regs_per_thread=64
+            )
+
+    @given(
+        smem=st.integers(0, 49152),
+        regs=st.integers(16, 255),
+        threads=st.sampled_from([64, 128, 256, 512]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_resources(self, smem, regs, threads):
+        """DESIGN.md invariant 6: more SMEM/registers never increases blocks."""
+        try:
+            base = occupancy_for(
+                RTX3060TI, threads_per_block=threads, smem_per_block=smem, regs_per_thread=regs
+            )
+        except ValueError:
+            return
+        if smem + 1024 <= 49152:
+            more = occupancy_for(
+                RTX3060TI,
+                threads_per_block=threads,
+                smem_per_block=smem + 1024,
+                regs_per_thread=regs,
+            )
+            assert more.blocks_per_sm <= base.blocks_per_sm
+
+    def test_occupancy_fraction(self):
+        occ = occupancy_for(
+            RTX3060TI, threads_per_block=256, smem_per_block=8192, regs_per_thread=64
+        )
+        assert 0 < occ.occupancy <= 1.0
+        assert occ.active_threads == occ.blocks_per_sm * 256
+
+
+class TestBlocking:
+    def _shape(self, **kw):
+        d = dict(batch=32, ih=64, iw=66, ic=128, oc=128, fh=3, fw=3, ph=1, pw=1)
+        d.update(kw)
+        return ConvShape(**d)
+
+    def test_grid_formula(self):
+        """Blocks = (OC/BN) x (N*OH*(OW/n)/BM) (§5.1)."""
+        shape = self._shape()
+        spec = variant_spec(8, 6, 3)
+        plan = grid_for(shape, spec, RTX3060TI, ow_segment=66)
+        tiles = 66 // 6
+        assert plan.grid_n == -(-128 // 64)
+        assert plan.grid_m == -(-(32 * 64 * tiles) // 32)
+        assert plan.blocks == plan.grid_n * plan.grid_m
+
+    def test_iterations(self):
+        """FH * IC / BK iterations per block (§5.1)."""
+        assert iterations_per_block(self._shape(), variant_spec(8, 6, 3)) == 3 * 128 // 8
+        assert iterations_per_block(self._shape(ic=129), variant_spec(8, 6, 3)) == 3 * 17
+
+    def test_indivisible_segment_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            grid_for(self._shape(), variant_spec(8, 6, 3), RTX3060TI, ow_segment=65)
+
+    def test_tail_efficiency_bounds(self):
+        plan = grid_for(self._shape(), variant_spec(8, 6, 3), RTX3060TI, ow_segment=66)
+        assert 0 < plan.tail_efficiency <= 1.0
+        assert plan.waves >= 1
+
+    def test_block_count_consistency_argument(self):
+        """§5.1: block count is far more stable across CNN depth than either
+        the map area (49x apart here) or channel count (8x apart) alone,
+        because blocks ~ channels x map and the product 'tends to be fair'."""
+        early = ConvShape(batch=32, ih=128, iw=126, ic=64, oc=64, fh=3, fw=3, ph=1, pw=1)
+        late = ConvShape(batch=32, ih=16, iw=18, ic=512, oc=512, fh=3, fw=3, ph=1, pw=1)
+        spec = variant_spec(8, 6, 3)
+        b_early = grid_for(early, spec, RTX3060TI, ow_segment=126).blocks
+        b_late = grid_for(late, spec, RTX3060TI, ow_segment=18).blocks
+        area_ratio = (128 * 126) / (16 * 18)
+        block_ratio = b_early / b_late
+        assert block_ratio < area_ratio / 4  # far more consistent than maps
+        assert 1 / 8 < block_ratio < 8  # and within one CNN 'level' of fair

@@ -1,0 +1,167 @@
+"""Tests for the SMEM bank model and §5.2 access patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.variants import variant_spec
+from repro.gpusim.smem import (
+    BANKS,
+    SmemArray,
+    conflict_degree,
+    vectorized_conflict_degree,
+)
+from repro.gpusim.trace import simulate_block_iteration, simulate_output_stage
+from repro.gpusim.warp import (
+    linear_lane_arrangement,
+    swizzle_xi,
+    thread_store_indices_ds,
+    thread_store_indices_gs,
+    z_lane_arrangement,
+)
+
+
+class TestConflictDegree:
+    def test_sequential_is_conflict_free(self):
+        assert conflict_degree(range(32)) == 1
+
+    def test_same_bank_stride(self):
+        """Stride-32 word addresses all hit bank 0: degree 32."""
+        assert conflict_degree(range(0, 32 * 32, 32)) == 32
+
+    def test_broadcast_not_a_conflict(self):
+        """All lanes reading one word multicast: degree 1."""
+        assert conflict_degree([7] * 32) == 1
+
+    def test_stride2_degree2(self):
+        assert conflict_degree(range(0, 64, 2)) == 2
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            conflict_degree([-1, 0])
+
+    @given(st.lists(st.integers(0, 4096), min_size=1, max_size=32))
+    @settings(max_examples=50)
+    def test_degree_bounds(self, addrs):
+        d = conflict_degree(addrs)
+        assert 1 <= d <= 32
+
+    def test_vectorized_conflict_free_128bit(self):
+        """8 lanes x 4 consecutive words covering 32 banks: degree 1."""
+        base = [4 * i for i in range(8)]
+        assert vectorized_conflict_degree(base, 4) == 1
+
+    def test_vectorized_words1_falls_back(self):
+        assert vectorized_conflict_degree(list(range(0, 64, 2)), 1) == 2
+
+
+class TestSmemArray:
+    def test_row_major_addressing(self):
+        a = SmemArray("t", (2, 3, 4))
+        assert a.address(0, 0, 0) == 0
+        assert a.address(0, 1, 0) == 4
+        assert a.address(1, 0, 0) == 12
+        assert a.address(1, 2, 3) == 23
+        assert a.words == 24 and a.bytes == 96
+
+    def test_bounds_checked(self):
+        a = SmemArray("t", (2, 3))
+        with pytest.raises(IndexError):
+            a.address(2, 0)
+        with pytest.raises(ValueError):
+            a.address(0)
+
+    def test_paper_ys_gamma8_shape(self):
+        """§5.2: Ys[8][32+1][16+4] fits the freed Gs allocation."""
+        ys = SmemArray("Ys", (8, 33, 20))
+        assert ys.bytes <= 49152
+
+
+class TestLaneArrangements:
+    def test_z_shape_figure4(self):
+        """Figure 4: lane 0 -> (G0, D0); lane 1 -> (G8, D0) — lane 1 loads
+        items 8-15 of Gs and 0-7 of Ds."""
+        assert z_lane_arrangement(0) == (0, 0)
+        assert z_lane_arrangement(1) == (8, 0)
+        assert z_lane_arrangement(2) == (0, 8)
+        assert z_lane_arrangement(3) == (8, 8)
+
+    def test_z_covers_full_grid(self):
+        """32 lanes tile the 64 x 32 accumulator grid in 8x8 patches."""
+        pairs = {z_lane_arrangement(l) for l in range(32)}
+        assert len(pairs) == 32
+        assert {g for g, _ in pairs} == {8 * i for i in range(8)}
+        assert {d for _, d in pairs} == {0, 8, 16, 24}
+
+    def test_linear_covers_full_grid(self):
+        pairs = {linear_lane_arrangement(l) for l in range(32)}
+        assert len(pairs) == 32
+
+    @pytest.mark.parametrize("f", [z_lane_arrangement, linear_lane_arrangement])
+    def test_lane_range(self, f):
+        with pytest.raises(ValueError):
+            f(32)
+        with pytest.raises(ValueError):
+            f(-1)
+
+
+class TestStorePatterns:
+    def test_gs_formula(self):
+        """[Gk, Gi] = [ty%8, (2tx + 1_{ty>7}) * (BN/32)]."""
+        assert thread_store_indices_gs(3, 2, 64) == (2, 12)
+        assert thread_store_indices_gs(3, 9, 64) == (1, 14)
+
+    def test_ds_formula(self):
+        assert thread_store_indices_ds(3, 2, 32) == (3, 4)
+        assert thread_store_indices_ds(9, 2, 32) == (1, 5)
+
+    def test_swizzle_spreads_banks(self):
+        """§5.2: Xi <- (Xi + 4*Xk) % 32 gives distinct columns to the 8
+        threads that would otherwise share one of only 4 columns."""
+        plain = {thread_store_indices_ds(tx, ty, 32)[1] for tx in range(16) for ty in (0, 1)}
+        swizzled = {
+            swizzle_xi(*reversed(thread_store_indices_ds(tx, ty, 32)))
+            for tx in range(16)
+            for ty in (0, 1)
+        }
+        assert len(plain) == 4  # the conflict: 32 lanes on 4 columns
+        assert len(swizzled) > len(plain)
+
+    def test_swizzle_is_bijective_per_row(self):
+        for xk in range(8):
+            cols = {swizzle_xi(xi, xk) for xi in range(32)}
+            assert cols == set(range(32))
+
+
+class TestTraceAblation:
+    def test_gamma8_swizzle_reduces_store_conflicts(self):
+        """The A1 headline: Gamma_8's Ds swizzle cuts SMEM phase overhead."""
+        spec = variant_spec(8, 6, 3)
+        with_sw = simulate_block_iteration(spec, swizzle_ds=True)
+        without = simulate_block_iteration(spec, swizzle_ds=False)
+        assert with_sw.phases < without.phases
+        assert with_sw.conflict_overhead < 1.0 < without.conflict_overhead
+
+    def test_ys_padding_eliminates_conflicts(self):
+        """§5.2 Ys[..][32+1][16+4] padding: degree 1 staging stores."""
+        for alpha, n, r in [(8, 6, 3), (16, 8, 9)]:
+            spec = variant_spec(alpha, n, r)
+            padded = simulate_output_stage(spec, padded=True)
+            bare = simulate_output_stage(spec, padded=False)
+            assert padded.conflict_overhead == 0.0
+            assert bare.conflict_overhead >= 1.0
+
+    def test_trace_result_addition(self):
+        spec = variant_spec(8, 6, 3)
+        a = simulate_block_iteration(spec)
+        b = simulate_output_stage(spec)
+        tot = a + b
+        assert tot.phases == a.phases + b.phases
+        assert tot.ideal_phases == a.ideal_phases + b.ideal_phases
+
+    def test_ideal_phases_positive(self):
+        for alpha, n, r in [(4, 3, 2), (8, 4, 5), (16, 10, 7)]:
+            t = simulate_block_iteration(variant_spec(alpha, n, r))
+            assert t.ideal_phases > 0
+            assert t.phases >= t.ideal_phases

@@ -1,0 +1,107 @@
+"""Tests for the backward pass (repro.core.gradients)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.direct import conv2d_direct
+from repro.core.gradients import (
+    backward_filter_for_input_grad,
+    conv2d_filter_grad,
+    conv2d_input_grad,
+)
+
+
+def numerical_input_grad(x, w, dy, ph, pw, eps=1e-3):
+    """Central finite differences of sum(dy * conv(x, w)) w.r.t. x."""
+    g = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        xp = x.astype(np.float64).copy()
+        xm = xp.copy()
+        xp[idx] += eps
+        xm[idx] -= eps
+        yp = conv2d_direct(xp, w, ph=ph, pw=pw, dtype=np.float64)
+        ym = conv2d_direct(xm, w, ph=ph, pw=pw, dtype=np.float64)
+        g[idx] = ((yp - ym) * dy).sum() / (2 * eps)
+        it.iternext()
+    return g
+
+
+class TestBackwardFilter:
+    def test_layout_and_rotation(self, rng):
+        w = rng.standard_normal((4, 3, 5, 2)).astype(np.float32)
+        wb = backward_filter_for_input_grad(w)
+        assert wb.shape == (2, 3, 5, 4)
+        assert wb[1, 0, 0, 3] == w[3, 2, 4, 1]
+
+    def test_involution_with_same_shape(self, rng):
+        w = rng.standard_normal((3, 3, 3, 3)).astype(np.float32)
+        np.testing.assert_array_equal(
+            backward_filter_for_input_grad(backward_filter_for_input_grad(w)), w
+        )
+
+
+class TestInputGrad:
+    @pytest.mark.parametrize("engine", ["winograd", "gemm"])
+    @pytest.mark.parametrize("r,ph,pw", [(3, 1, 1), (5, 2, 2), (2, 0, 0), (3, 0, 1)])
+    def test_against_finite_differences(self, rng, engine, r, ph, pw):
+        x = rng.standard_normal((1, 5, 6, 2)).astype(np.float32)
+        w = rng.standard_normal((2, r, r, 2)).astype(np.float32)
+        y = conv2d_direct(x, w, ph=ph, pw=pw)
+        dy = rng.standard_normal(y.shape).astype(np.float32)
+        got = conv2d_input_grad(dy, w, x.shape, ph=ph, pw=pw, engine=engine)
+        want = numerical_input_grad(x, w, dy, ph, pw)
+        np.testing.assert_allclose(got, want, rtol=2e-2, atol=2e-2)
+
+    def test_engines_agree_tightly(self, rng):
+        x_shape = (2, 10, 11, 3)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        dy = rng.standard_normal((2, 10, 11, 4)).astype(np.float32)
+        a = conv2d_input_grad(dy, w, x_shape, ph=1, pw=1, engine="winograd")
+        b = conv2d_input_grad(dy, w, x_shape, ph=1, pw=1, engine="gemm")
+        np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-4)
+
+    def test_shape_consistency_check(self, rng):
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        dy = rng.standard_normal((2, 9, 11, 4)).astype(np.float32)  # wrong OH
+        with pytest.raises(ValueError, match="inconsistent"):
+            conv2d_input_grad(dy, w, (2, 10, 11, 3), ph=1, pw=1)
+
+    def test_unknown_engine(self, rng):
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        dy = rng.standard_normal((2, 10, 11, 4)).astype(np.float32)
+        with pytest.raises(ValueError, match="engine"):
+            conv2d_input_grad(dy, w, (2, 10, 11, 3), ph=1, pw=1, engine="magic")
+
+
+class TestFilterGrad:
+    def test_against_finite_differences(self, rng):
+        x = rng.standard_normal((1, 5, 5, 2)).astype(np.float32)
+        w = rng.standard_normal((2, 3, 3, 2)).astype(np.float32)
+        y = conv2d_direct(x, w, ph=1, pw=1)
+        dy = rng.standard_normal(y.shape).astype(np.float32)
+        got = conv2d_filter_grad(x, dy, fh=3, fw=3, ph=1, pw=1)
+        eps = 1e-3
+        want = np.zeros_like(w, dtype=np.float64)
+        it = np.nditer(w, flags=["multi_index"])
+        while not it.finished:
+            idx = it.multi_index
+            wp = w.astype(np.float64).copy()
+            wm = wp.copy()
+            wp[idx] += eps
+            wm[idx] -= eps
+            yp = conv2d_direct(x, wp, ph=1, pw=1, dtype=np.float64)
+            ym = conv2d_direct(x, wm, ph=1, pw=1, dtype=np.float64)
+            want[idx] = ((yp - ym) * dy).sum() / (2 * eps)
+            it.iternext()
+        np.testing.assert_allclose(got, want, rtol=2e-2, atol=2e-2)
+
+    def test_linearity_in_dy(self, rng):
+        x = rng.standard_normal((2, 6, 6, 3)).astype(np.float32)
+        dy1 = rng.standard_normal((2, 6, 6, 4)).astype(np.float32)
+        dy2 = rng.standard_normal((2, 6, 6, 4)).astype(np.float32)
+        g1 = conv2d_filter_grad(x, dy1, fh=3, fw=3, ph=1, pw=1)
+        g2 = conv2d_filter_grad(x, dy2, fh=3, fw=3, ph=1, pw=1)
+        g12 = conv2d_filter_grad(x, dy1 + dy2, fh=3, fw=3, ph=1, pw=1)
+        np.testing.assert_allclose(g12, g1 + g2, rtol=1e-4, atol=1e-4)

@@ -1,0 +1,162 @@
+"""Cross-module integration tests: the paths the experiments actually take."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import conv2d_direct, conv2d_fft, conv2d_gemm, conv2d_winograd2d
+from repro.bench import (
+    FIG8_PANELS,
+    TABLE3_SHAPES,
+    modeled_training_acceleration,
+    panel_shapes,
+    standard_flops,
+)
+from repro.core import conv2d_im2col_winograd, plan_convolution
+from repro.dlframe import Adam, Tensor, Trainer, synthetic_cifar10
+from repro.dlframe.models import resnet18, vgg16
+from repro.gpusim import RTX3060TI, RTX4090, estimate_conv, estimate_cudnn_gemm
+from repro.nhwc import ConvShape
+
+from .conftest import TOL_BY_ALPHA, rel_err
+
+
+class TestFourOracleAgreement:
+    """All five convolution implementations agree on one shared problem."""
+
+    @pytest.fixture(scope="class")
+    def problem(self):
+        rng = np.random.default_rng(99)
+        x = rng.standard_normal((2, 12, 15, 6)).astype(np.float32)
+        w = rng.standard_normal((5, 3, 3, 6)).astype(np.float32)
+        truth = conv2d_direct(x, w, ph=1, pw=1, dtype=np.float64)
+        return x, w, truth
+
+    def test_all_implementations(self, problem):
+        x, w, truth = problem
+        impls = {
+            "fused": conv2d_im2col_winograd(x, w),
+            "gemm": conv2d_gemm(x, w, ph=1, pw=1),
+            "gemm-seq": conv2d_gemm(x, w, ph=1, pw=1, accumulation="sequential"),
+            "fft": conv2d_fft(x, w, ph=1, pw=1),
+            "wino2d": conv2d_winograd2d(x, w, m=2),
+            "direct32": conv2d_direct(x, w, ph=1, pw=1),
+        }
+        for name, y in impls.items():
+            assert rel_err(y, truth) < 1e-4, name
+
+
+class TestShapeTablesConsistency:
+    def test_every_fig8_shape_plannable(self):
+        """Every Experiment-1 shape must take the Winograd path."""
+        for name, panel in FIG8_PANELS.items():
+            for shape, alpha in panel_shapes(panel):
+                plan = plan_convolution(shape, alpha=alpha)
+                assert plan.algorithm == "im2col-winograd", (name, shape)
+
+    def test_table3_shapes_need_no_boundary(self):
+        """§6.2.1: Table 3's OW are multiples of n — single-segment plans."""
+        for name, (alpha, r, ofms) in TABLE3_SHAPES.items():
+            n = alpha - r + 1
+            for (_, _, ow, _) in ofms:
+                assert ow % n == 0, (name, ow)
+
+    def test_flops_metric_matches_convshape(self):
+        s = ConvShape.from_ofm(32, 64, 66, 128, r=3)
+        assert standard_flops(s) == s.flops
+
+    def test_every_fig8_shape_estimable_on_both_devices(self):
+        for name, panel in FIG8_PANELS.items():
+            shape, alpha = panel_shapes(panel)[0]
+            for device in (RTX3060TI, RTX4090):
+                e = estimate_conv(shape, device, alpha=alpha)
+                b = estimate_cudnn_gemm(shape, device)
+                assert e.gflops > 0 and b.gflops > 0
+
+
+class TestEndToEndTrainingPath:
+    def test_vgg_forward_uses_fused_kernel_results(self, rng):
+        """The dlframe Conv2D forward is literally conv2d_im2col_winograd."""
+        from repro.dlframe.layers import Conv2D
+
+        conv = Conv2D(3, 4, 3, engine="winograd", rng=np.random.default_rng(0))
+        x = rng.standard_normal((1, 8, 8, 3)).astype(np.float32)
+        via_layer = conv(Tensor(x)).data
+        direct_call = conv2d_im2col_winograd(x, conv.weight.data) + conv.bias.data
+        np.testing.assert_array_equal(via_layer, direct_call)
+
+    def test_overfit_one_batch_both_engines(self):
+        """Both engines can drive a model to (near) zero loss on one batch —
+        the classic end-to-end autograd sanity check."""
+        train, _ = synthetic_cifar10(train=32, test=8, image=8, classes=4, noise=0.1)
+        for engine in ("winograd", "gemm"):
+            m = vgg16(classes=4, image=8, width_mult=0.25, engine=engine, seed=1)
+            t = Trainer(m, Adam(m.parameters(), lr=3e-3), record_every=1)
+            for _ in range(25):
+                loss = t.train_step(train.x[:32], train.y[:32])
+            assert loss < 0.1, engine
+
+    def test_resnet_dispatch_consistency(self):
+        """The §5.7 dispatch inside ResNet: strided convs report gemm, the
+        rest report the configured engine."""
+        m = resnet18(width_mult=0.0625, engine="winograd")
+        from repro.dlframe.layers import Conv2D
+
+        engines = []
+
+        def collect(mod):
+            for v in vars(mod).values():
+                items = v if isinstance(v, (list, tuple)) else [v]
+                for item in items:
+                    if isinstance(item, Conv2D):
+                        engines.append((item.stride, item.effective_engine))
+                    elif hasattr(item, "__dict__"):
+                        collect(item)
+
+        collect(m)
+        for stride, engine in engines:
+            assert engine == ("gemm" if stride != 1 else "winograd")
+
+    def test_modeled_acceleration_structure(self):
+        """Experiment-3 structure via the model: VGG16x5 > VGG16, both >= ~1."""
+        from repro.dlframe.models import vgg16x5
+
+        a16 = modeled_training_acceleration(
+            vgg16(image=32, engine="winograd"),
+            vgg16(image=32, engine="gemm"),
+            image=32, batch=512, device=RTX3060TI,
+        )
+        a16x5 = modeled_training_acceleration(
+            vgg16x5(image=32, engine="winograd"),
+            vgg16x5(image=32, engine="gemm"),
+            image=32, batch=512, device=RTX3060TI,
+        )
+        assert a16x5 > a16 > 0.95
+
+
+class TestGradientFlowEndToEnd:
+    def test_full_network_gradcheck_spotwise(self, rng):
+        """Spot finite-difference check through a whole (tiny) network."""
+        from repro.dlframe.losses import softmax_cross_entropy
+
+        m = vgg16(classes=3, image=8, width_mult=0.0625, engine="winograd", seed=4)
+        x = rng.standard_normal((2, 8, 8, 3)).astype(np.float32)
+        onehot = np.eye(3, dtype=np.float32)[[0, 2]]
+
+        def loss_value():
+            return float(softmax_cross_entropy(m(Tensor(x)), onehot).data)
+
+        loss = softmax_cross_entropy(m(Tensor(x)), onehot)
+        loss.backward()
+        params = m.parameters()
+        p = params[0]  # first conv weight
+        idx = (0, 1, 1, 0)
+        analytic = float(p.grad[idx])
+        eps = 1e-2
+        orig = p.data[idx]
+        p.data[idx] = orig + eps
+        fp = loss_value()
+        p.data[idx] = orig - eps
+        fm = loss_value()
+        p.data[idx] = orig
+        numeric = (fp - fm) / (2 * eps)
+        assert analytic == pytest.approx(numeric, rel=0.15, abs=5e-3)

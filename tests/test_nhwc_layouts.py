@@ -1,0 +1,68 @@
+"""Tests for repro.nhwc.layouts: format conversions and filter handling."""
+
+import numpy as np
+import pytest
+
+from repro.nhwc.layouts import (
+    chwn_to_nhwc,
+    filter_transposition_bytes,
+    nchw_to_nhwc,
+    nhwc_to_chwn,
+    nhwc_to_nchw,
+    rotate_filter_180,
+    transpose_filter_forward,
+    untranspose_filter_forward,
+)
+
+
+class TestFormatConversions:
+    def test_nchw_roundtrip(self, rng):
+        x = rng.standard_normal((2, 3, 4, 5)).astype(np.float32)
+        np.testing.assert_array_equal(nhwc_to_nchw(nchw_to_nhwc(x)), x)
+
+    def test_chwn_roundtrip(self, rng):
+        x = rng.standard_normal((2, 3, 4, 5)).astype(np.float32)
+        np.testing.assert_array_equal(nhwc_to_chwn(chwn_to_nhwc(x)), x)
+
+    def test_nchw_element_mapping(self, rng):
+        x = rng.standard_normal((2, 3, 4, 5)).astype(np.float32)
+        y = nchw_to_nhwc(x)
+        assert y[1, 2, 3, 0] == x[1, 0, 2, 3]
+
+    def test_results_contiguous(self, rng):
+        x = rng.standard_normal((2, 3, 4, 5)).astype(np.float32)
+        assert nchw_to_nhwc(x).flags["C_CONTIGUOUS"]
+        assert nhwc_to_nchw(x).flags["C_CONTIGUOUS"]
+
+    def test_non4d_rejected(self):
+        for f in (nchw_to_nhwc, nhwc_to_nchw, chwn_to_nhwc, nhwc_to_chwn):
+            with pytest.raises(ValueError):
+                f(np.zeros((2, 2, 2)))
+
+
+class TestFilterTransposition:
+    def test_forward_layout(self, rng):
+        w = rng.standard_normal((8, 3, 5, 4)).astype(np.float32)
+        wt = transpose_filter_forward(w)
+        assert wt.shape == (3, 5, 4, 8)
+        assert wt[1, 2, 3, 4] == w[4, 1, 2, 3]
+
+    def test_roundtrip(self, rng):
+        w = rng.standard_normal((8, 3, 5, 4)).astype(np.float32)
+        np.testing.assert_array_equal(untranspose_filter_forward(transpose_filter_forward(w)), w)
+
+    def test_transposition_bytes(self):
+        # read + write of OC*FH*FW*IC FP32 items
+        assert filter_transposition_bytes(64, 3, 3, 64) == 2 * 64 * 3 * 3 * 64 * 4
+
+
+class TestRotate180:
+    def test_center_fixed_odd_filter(self, rng):
+        w = rng.standard_normal((2, 3, 3, 2)).astype(np.float32)
+        r = rotate_filter_180(w)
+        np.testing.assert_array_equal(r[:, 1, 1, :], w[:, 1, 1, :])
+        np.testing.assert_array_equal(r[:, 0, 0, :], w[:, 2, 2, :])
+
+    def test_involution(self, rng):
+        w = rng.standard_normal((2, 4, 5, 2)).astype(np.float32)
+        np.testing.assert_array_equal(rotate_filter_180(rotate_filter_180(w)), w)

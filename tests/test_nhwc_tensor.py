@@ -1,0 +1,134 @@
+"""Tests for repro.nhwc.tensor: ConvShape, padding, im2col/col2im."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nhwc.tensor import ConvShape, col2im_nhwc, conv_output_size, im2col_nhwc, pad_nhwc
+
+
+class TestConvShape:
+    def test_output_size(self):
+        s = ConvShape(batch=2, ih=32, iw=32, ic=16, oc=32, fh=3, fw=3, ph=1, pw=1)
+        assert (s.oh, s.ow) == (32, 32)
+
+    def test_flops_formula(self):
+        s = ConvShape(batch=2, ih=8, iw=8, ic=4, oc=8, fh=3, fw=3, ph=1, pw=1)
+        assert s.flops == 2 * 2 * 8 * 8 * 8 * 3 * 3 * 4
+
+    def test_from_ofm_inverts_output_formula(self):
+        """Experiment shapes are given as N x OH x OW x OC with r x r filters
+        and floor(r/2) padding; from_ofm must invert exactly."""
+        for r in range(2, 10):
+            s = ConvShape.from_ofm(32, 64, 66, 128, r=r)
+            assert (s.oh, s.ow) == (64, 66), r
+            assert s.ic == s.oc == 128
+            assert (s.ph, s.pw) == (r // 2, r // 2)
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            ConvShape(batch=0, ih=8, iw=8, ic=4, oc=8, fh=3, fw=3)
+        with pytest.raises(ValueError):
+            ConvShape(batch=1, ih=8, iw=8, ic=4, oc=8, fh=3, fw=3, ph=-1)
+        with pytest.raises(ValueError):
+            ConvShape(batch=1, ih=2, iw=2, ic=4, oc=8, fh=5, fw=5)  # empty output
+
+    def test_shape_properties(self):
+        s = ConvShape(batch=2, ih=8, iw=9, ic=4, oc=8, fh=3, fw=3, ph=1, pw=1)
+        assert s.input_shape == (2, 8, 9, 4)
+        assert s.filter_shape == (8, 3, 3, 4)
+        assert s.output_shape == (2, 8, 9, 8)
+
+    @given(
+        ih=st.integers(8, 40),
+        f=st.integers(1, 7),
+        p=st.integers(0, 3),
+        stride=st.integers(1, 3),
+    )
+    def test_output_size_consistent_with_range(self, ih, f, p, stride):
+        out = conv_output_size(ih, f, p, stride)
+        if out >= 1:
+            # last window must fit inside the padded input
+            assert (out - 1) * stride + f <= ih + 2 * p
+
+
+class TestPad:
+    def test_zero_pad_is_identity_object(self, rng):
+        x = rng.standard_normal((1, 4, 4, 2)).astype(np.float32)
+        assert pad_nhwc(x, 0, 0) is x
+
+    def test_pad_values(self, rng):
+        x = rng.standard_normal((1, 2, 2, 3)).astype(np.float32)
+        p = pad_nhwc(x, 1, 2)
+        assert p.shape == (1, 4, 6, 3)
+        assert np.all(p[:, 0] == 0) and np.all(p[:, -1] == 0)
+        assert np.all(p[:, :, :2] == 0) and np.all(p[:, :, -2:] == 0)
+        np.testing.assert_array_equal(p[:, 1:3, 2:4, :], x)
+
+    def test_non4d_rejected(self):
+        with pytest.raises(ValueError, match="NHWC"):
+            pad_nhwc(np.zeros((2, 2)), 1, 1)
+
+
+class TestIm2col:
+    def test_shape(self, rng):
+        x = rng.standard_normal((2, 5, 6, 3)).astype(np.float32)
+        cols = im2col_nhwc(x, 3, 3, 1, 1)
+        assert cols.shape == (2 * 5 * 6, 3 * 3 * 3)
+
+    def test_values_against_manual_window(self, rng):
+        x = rng.standard_normal((1, 4, 4, 2)).astype(np.float32)
+        cols = im2col_nhwc(x, 2, 2, 0, 0)
+        # output (3x3); window at (1,2) is row 1*3+2
+        got = cols[1 * 3 + 2].reshape(2, 2, 2)
+        np.testing.assert_array_equal(got, x[0, 1:3, 2:4, :])
+
+    def test_stride2(self, rng):
+        x = rng.standard_normal((1, 6, 6, 1)).astype(np.float32)
+        cols = im2col_nhwc(x, 2, 2, 0, 0, stride=2)
+        assert cols.shape == (9, 4)
+        np.testing.assert_array_equal(cols[4].reshape(2, 2), x[0, 2:4, 2:4, 0])
+
+    def test_gemm_equals_direct(self, rng):
+        """im2col respects the (fh, fw, ic) column order the GEMM assumes."""
+        from repro.baselines.direct import conv2d_direct
+
+        x = rng.standard_normal((2, 7, 8, 3)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 2, 3)).astype(np.float32)
+        cols = im2col_nhwc(x, 3, 2, 1, 0)
+        y = (cols @ w.transpose(1, 2, 3, 0).reshape(-1, 4)).reshape(2, 7, 7, 4)
+        np.testing.assert_allclose(y, conv2d_direct(x, w, ph=1, pw=0), rtol=1e-5, atol=1e-5)
+
+
+class TestCol2im:
+    @given(
+        ih=st.integers(4, 9),
+        iw=st.integers(4, 9),
+        fh=st.integers(1, 3),
+        fw=st.integers(1, 3),
+        ph=st.integers(0, 1),
+        pw=st.integers(0, 1),
+        stride=st.integers(1, 2),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_adjoint_property(self, ih, iw, fh, fw, ph, pw, stride):
+        """col2im is the exact adjoint of im2col: <im2col(x), c> == <x, col2im(c)>."""
+        if (ih + 2 * ph - fh) < 0 or (iw + 2 * pw - fw) < 0:
+            return
+        rng = np.random.default_rng(ih * 1000 + iw * 100 + fh * 10 + fw)
+        x = rng.standard_normal((1, ih, iw, 2))
+        cols = im2col_nhwc(x, fh, fw, ph, pw, stride)
+        c = rng.standard_normal(cols.shape)
+        lhs = float((cols * c).sum())
+        rhs = float((x * col2im_nhwc(c, x.shape, fh, fw, ph, pw, stride)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    def test_roundtrip_counts_overlaps(self, rng):
+        """col2im(im2col(ones)) equals the per-pixel window-coverage count."""
+        x = np.ones((1, 4, 4, 1))
+        cols = im2col_nhwc(x, 3, 3, 1, 1)
+        back = col2im_nhwc(cols, x.shape, 3, 3, 1, 1)
+        # interior pixel covered by 9 windows, corner by 4
+        assert back[0, 1, 1, 0] == 9
+        assert back[0, 0, 0, 0] == 4

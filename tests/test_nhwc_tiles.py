@@ -1,0 +1,88 @@
+"""Tests for repro.nhwc.tiles: 1D tile gather with implicit padding."""
+
+import numpy as np
+import pytest
+
+from repro.nhwc.tensor import pad_nhwc
+from repro.nhwc.tiles import extract_width_tiles, tile_count, tile_overlap
+
+
+class TestTileBasics:
+    def test_overlap_is_r_minus_1(self):
+        """Figure 6: adjacent F(4,5) tiles share 4 items."""
+        assert tile_overlap(5) == 4
+        assert tile_overlap(1) == 0
+        with pytest.raises(ValueError):
+            tile_overlap(0)
+
+    def test_tile_count(self):
+        assert tile_count(12, 6) == 2
+        with pytest.raises(ValueError, match="divisible"):
+            tile_count(13, 6)
+
+
+def reference_tiles(x, *, fh_offset, ow_start, num_tiles, n, alpha, ph, pw, oh):
+    """Brute-force gather from the explicitly padded tensor."""
+    xp = pad_nhwc(x, ph, pw)
+    batch, _, _, ic = x.shape
+    out = np.zeros((batch, oh, num_tiles, alpha, ic), dtype=x.dtype)
+    for b in range(batch):
+        for o in range(oh):
+            row = o + fh_offset
+            for t in range(num_tiles):
+                c0 = ow_start + t * n  # padded coordinates
+                out[b, o, t] = xp[b, row, c0 : c0 + alpha, :]
+    return out
+
+
+class TestExtractWidthTiles:
+    @pytest.mark.parametrize("ph,pw", [(0, 0), (1, 1), (2, 3)])
+    @pytest.mark.parametrize("n,r", [(6, 3), (4, 5), (2, 7)])
+    def test_matches_brute_force(self, rng, ph, pw, n, r):
+        alpha = n + r - 1
+        x = rng.standard_normal((2, 9, 24 + 2 * 3, 3)).astype(np.float32)
+        oh = x.shape[1] + 2 * ph - r + 1
+        ow = x.shape[2] + 2 * pw - r + 1
+        num_tiles = ow // n
+        for f in range(r):
+            got = extract_width_tiles(
+                x, fh_offset=f, ow_start=0, num_tiles=num_tiles,
+                n=n, alpha=alpha, ph=ph, pw=pw, oh=oh,
+            )
+            want = reference_tiles(
+                x, fh_offset=f, ow_start=0, num_tiles=num_tiles,
+                n=n, alpha=alpha, ph=ph, pw=pw, oh=oh,
+            )
+            np.testing.assert_array_equal(np.asarray(got), want)
+
+    def test_mid_tensor_segment(self, rng):
+        """Boundary treatment starts segments at nonzero ow_start."""
+        n, r = 2, 3
+        alpha = 4
+        x = rng.standard_normal((1, 6, 15, 2)).astype(np.float32)
+        oh = 6
+        got = extract_width_tiles(
+            x, fh_offset=1, ow_start=12, num_tiles=1, n=n, alpha=alpha, ph=1, pw=1, oh=oh
+        )
+        want = reference_tiles(
+            x, fh_offset=1, ow_start=12, num_tiles=1, n=n, alpha=alpha, ph=1, pw=1, oh=oh
+        )
+        np.testing.assert_array_equal(np.asarray(got), want)
+
+    def test_interior_is_zero_copy_view(self, rng):
+        """When no padding is touched the gather must be a strided view."""
+        n, r = 6, 3
+        x = rng.standard_normal((1, 8, 30, 2)).astype(np.float32)
+        tiles = extract_width_tiles(
+            x, fh_offset=0, ow_start=0, num_tiles=3, n=n, alpha=8, ph=0, pw=0, oh=6
+        )
+        assert np.asarray(tiles).base is not None  # view, not copy
+
+    def test_overlap_columns_shared(self, rng):
+        """Adjacent gathered tiles physically share their r-1 overlap items."""
+        n, r = 4, 5
+        x = rng.standard_normal((1, 6, 40, 1)).astype(np.float32)
+        tiles = extract_width_tiles(
+            x, fh_offset=0, ow_start=0, num_tiles=4, n=n, alpha=8, ph=0, pw=0, oh=2
+        )
+        np.testing.assert_array_equal(tiles[0, 0, 1, :4, 0], tiles[0, 0, 0, 4:, 0])

@@ -1,0 +1,148 @@
+"""Tests for optimizers, losses and initializers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dlframe.autograd import Tensor
+from repro.dlframe.initializers import kaiming_uniform, leaky_relu_gain
+from repro.dlframe.layers import Parameter
+from repro.dlframe.losses import accuracy, softmax, softmax_cross_entropy
+from repro.dlframe.optim import Adam, SGDM
+
+
+class TestSoftmaxCE:
+    def test_uniform_logits_loss_is_log_c(self):
+        logits = Tensor(np.zeros((4, 10), dtype=np.float32), requires_grad=True)
+        onehot = np.eye(10, dtype=np.float32)[:4]
+        loss = softmax_cross_entropy(logits, onehot)
+        assert float(loss.data) == pytest.approx(math.log(10), rel=1e-5)
+
+    def test_gradient_formula(self, rng):
+        z0 = rng.standard_normal((3, 5)).astype(np.float32)
+        onehot = np.eye(5, dtype=np.float32)[[0, 2, 4]]
+        z = Tensor(z0, requires_grad=True)
+        softmax_cross_entropy(z, onehot).backward()
+        np.testing.assert_allclose(z.grad, (softmax(z0) - onehot) / 3, rtol=1e-5, atol=1e-6)
+
+    def test_gradient_finite_diff(self, rng):
+        z0 = rng.standard_normal((2, 4)).astype(np.float64)
+        onehot = np.eye(4)[[1, 3]]
+        z = Tensor(z0, requires_grad=True)
+        softmax_cross_entropy(z, onehot).backward()
+        eps = 1e-6
+        for i in range(2):
+            for j in range(4):
+                zp, zm = z0.copy(), z0.copy()
+                zp[i, j] += eps
+                zm[i, j] -= eps
+                fp = float(softmax_cross_entropy(Tensor(zp), onehot).data)
+                fm = float(softmax_cross_entropy(Tensor(zm), onehot).data)
+                assert z.grad[i, j] == pytest.approx((fp - fm) / (2 * eps), rel=1e-3, abs=1e-6)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]], dtype=np.float32))
+        onehot = np.eye(2, dtype=np.float32)
+        assert float(softmax_cross_entropy(logits, onehot).data) < 1e-6
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            softmax_cross_entropy(Tensor(np.zeros((2, 3))), np.zeros((2, 4)))
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        p = softmax(rng.standard_normal((6, 9)) * 10)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, rtol=1e-6)
+        assert np.all(p >= 0)
+
+    def test_accuracy(self):
+        logits = np.array([[2.0, 1.0], [0.0, 3.0], [5.0, 1.0]])
+        onehot = np.array([[1, 0], [0, 1], [0, 1]], dtype=float)
+        assert accuracy(logits, onehot) == pytest.approx(2 / 3)
+
+
+class TestOptimizers:
+    def _quadratic_param(self):
+        return Parameter(np.array([5.0, -3.0], dtype=np.float32))
+
+    def test_sgdm_converges_on_quadratic(self):
+        p = self._quadratic_param()
+        opt = SGDM([p], lr=0.1, momentum=0.9)
+        for _ in range(300):
+            p.grad = 2 * p.data  # grad of ||p||^2
+            opt.step()
+        assert np.abs(p.data).max() < 1e-3
+
+    def test_adam_converges_on_quadratic(self):
+        p = self._quadratic_param()
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            p.grad = 2 * p.data
+            opt.step()
+        assert np.abs(p.data).max() < 1e-2
+
+    def test_sgdm_momentum_accumulates(self):
+        p = Parameter(np.array([0.0], dtype=np.float32))
+        opt = SGDM([p], lr=1.0, momentum=0.5)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()  # v=1, p=-1
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()  # v=1.5, p=-2.5
+        np.testing.assert_allclose(p.data, [-2.5])
+
+    def test_adam_first_step_size_is_lr(self):
+        """With bias correction the first Adam step is ~lr regardless of
+        gradient scale."""
+        for scale in (1e-3, 1.0, 1e3):
+            p = Parameter(np.array([0.0], dtype=np.float32))
+            opt = Adam([p], lr=0.01)
+            p.grad = np.array([scale], dtype=np.float32)
+            opt.step()
+            assert abs(p.data[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_none_grad_skipped(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = SGDM([p], lr=0.1)
+        opt.step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_zero_grad(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        p.grad = np.array([2.0], dtype=np.float32)
+        SGDM([p], lr=0.1).zero_grad()
+        assert p.grad is None
+
+    def test_validation(self):
+        p = Parameter(np.zeros(1, dtype=np.float32))
+        with pytest.raises(ValueError, match="lr"):
+            SGDM([p], lr=0)
+        with pytest.raises(ValueError, match="momentum"):
+            SGDM([p], momentum=1.0)
+        with pytest.raises(ValueError, match="betas"):
+            Adam([p], betas=(1.0, 0.9))
+        with pytest.raises(ValueError, match="no parameters"):
+            Adam([])
+
+
+class TestKaiming:
+    def test_bound_formula(self):
+        rng = np.random.default_rng(0)
+        w = kaiming_uniform((1000, 9), fan_in=9, rng=rng)
+        bound = leaky_relu_gain() * math.sqrt(3.0 / 9)
+        assert np.abs(w).max() <= bound
+        assert np.abs(w).max() > 0.9 * bound  # actually fills the range
+
+    def test_variance_scales_inverse_fan_in(self):
+        rng = np.random.default_rng(0)
+        small = kaiming_uniform((4000,), fan_in=10, rng=rng).var()
+        large = kaiming_uniform((4000,), fan_in=1000, rng=rng).var()
+        assert small / large == pytest.approx(100, rel=0.2)
+
+    def test_dtype_and_validation(self):
+        rng = np.random.default_rng(0)
+        assert kaiming_uniform((3, 3), fan_in=9, rng=rng).dtype == np.float32
+        with pytest.raises(ValueError, match="fan_in"):
+            kaiming_uniform((3,), fan_in=0, rng=rng)
+
+    def test_gain(self):
+        assert leaky_relu_gain(0.0) == pytest.approx(math.sqrt(2))

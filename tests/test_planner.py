@@ -1,0 +1,79 @@
+"""Tests for the convolution planner (repro.core.planner)."""
+
+import pytest
+
+from repro.core.planner import plan_convolution
+from repro.nhwc.tensor import ConvShape
+
+
+def shape(r=3, ow=64, ic=128, oc=128, stride=1, **kw):
+    ph = pw = r // 2
+    iw = ow - 1 + r - 2 * pw if stride == 1 else (ow - 1) * stride + r - 2 * pw
+    return ConvShape(
+        batch=8, ih=iw, iw=iw, ic=ic, oc=oc, fh=r, fw=r, ph=ph, pw=pw, stride=stride, **kw
+    )
+
+
+class TestAlgorithmSelection:
+    def test_unit_stride_goes_winograd(self):
+        p = plan_convolution(shape())
+        assert p.algorithm == "im2col-winograd"
+        assert p.primary is not None
+
+    def test_stride2_goes_gemm(self):
+        """§5.7: other algorithms handle the non-unit-stride cases."""
+        p = plan_convolution(shape(stride=2))
+        assert p.algorithm == "gemm"
+        assert "stride" in p.reason
+
+    def test_oversized_padding_goes_gemm(self):
+        s = ConvShape(batch=1, ih=8, iw=8, ic=4, oc=4, fh=3, fw=3, ph=1, pw=3)
+        p = plan_convolution(s)
+        assert p.algorithm == "gemm"
+
+
+class TestKernelSelection:
+    def test_default_alpha8_for_small_widths(self):
+        for r in range(2, 7):
+            p = plan_convolution(shape(r=r, ic=96, oc=96))
+            assert p.primary.alpha == 8, r
+
+    def test_default_alpha16_for_wide(self):
+        """r >= 7 prefers alpha=16 (Gamma_16(10,7) beats Gamma_8(2,7))."""
+        for r in (7, 8, 9):
+            p = plan_convolution(shape(r=r, ic=96, oc=96))
+            assert p.primary.alpha == 16
+
+    def test_c64_when_channels_multiple_of_64(self):
+        """§5.6: channel sizes multiple of 64 enable the c64 variant."""
+        p = plan_convolution(shape(r=9, ic=128, oc=128))
+        assert p.primary.variant == "c64"
+
+    def test_ruse_when_profitable(self):
+        p = plan_convolution(shape(r=5, ic=96, oc=96))
+        assert p.primary.variant == "ruse"  # (5-1)/8 = 0.5 >= 0.4375
+
+    def test_base_otherwise(self):
+        p = plan_convolution(shape(r=3, ic=96, oc=96))
+        assert p.primary.variant == "base"
+
+    def test_forced_alpha_and_variant(self):
+        p = plan_convolution(shape(r=3, ic=128, oc=128), alpha=16, variant="base")
+        assert p.primary.alpha == 16 and p.primary.variant == "base"
+
+
+class TestSegmentsInPlan:
+    def test_full_cover(self):
+        p = plan_convolution(shape(r=3, ow=67))
+        total = sum(s.width for s in p.segments)
+        assert total == p.shape.ow
+
+    def test_winograd_fraction(self):
+        p = plan_convolution(shape(r=3, ow=67))  # 66 winograd + 1 gemm
+        assert p.winograd_fraction == pytest.approx(66 / 67)
+        p2 = plan_convolution(shape(r=3, ow=66))
+        assert p2.winograd_fraction == 1.0
+
+    def test_gemm_plan_has_no_segments(self):
+        p = plan_convolution(shape(stride=2))
+        assert p.segments == () and p.winograd_fraction == 0.0

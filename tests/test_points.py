@@ -1,0 +1,72 @@
+"""Tests for the interpolation-point sequence (repro.core.points)."""
+
+from fractions import Fraction
+from itertools import islice
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.points import interpolation_points, point_stream, points_for
+
+
+class TestPointStream:
+    def test_paper_prefix(self):
+        """§5.3: points are {0, 1, -1, 2, -2, 1/2, -1/2, 3, -3, ...}."""
+        got = list(islice(point_stream(), 11))
+        want = [
+            Fraction(0),
+            Fraction(1),
+            Fraction(-1),
+            Fraction(2),
+            Fraction(-2),
+            Fraction(1, 2),
+            Fraction(-1, 2),
+            Fraction(3),
+            Fraction(-3),
+            Fraction(1, 3),
+            Fraction(-1, 3),
+        ]
+        assert got == want
+
+    def test_all_exact_fractions(self):
+        assert all(isinstance(p, Fraction) for p in islice(point_stream(), 40))
+
+    @given(st.integers(min_value=1, max_value=60))
+    def test_distinct(self, count):
+        pts = interpolation_points(count)
+        assert len(set(pts)) == count
+
+    def test_sign_balance(self):
+        """After 0, points come in +/- pairs, keeping magnitudes balanced."""
+        pts = interpolation_points(15)
+        nonzero = pts[1:]
+        for i in range(0, len(nonzero) - 1, 2):
+            assert nonzero[i] == -nonzero[i + 1]
+
+
+class TestInterpolationPoints:
+    def test_zero_count(self):
+        assert interpolation_points(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            interpolation_points(-1)
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=20))
+    def test_points_for_count(self, n, r):
+        assert len(points_for(n, r)) == n + r - 2
+
+    @pytest.mark.parametrize("n,r", [(0, 3), (3, 0), (-1, 2)])
+    def test_points_for_rejects_bad_nr(self, n, r):
+        with pytest.raises(ValueError):
+            points_for(n, r)
+
+    def test_f23_points(self):
+        """F(2,3) uses {0, 1, -1} + infinity — the classic Lavin choice."""
+        assert points_for(2, 3) == [Fraction(0), Fraction(1), Fraction(-1)]
+
+    def test_magnitudes_grow_slowly(self):
+        """alpha=16 needs 15 finite points; the largest magnitude stays <= 4."""
+        pts = points_for(8, 9)
+        assert max(abs(p) for p in pts) <= 4

@@ -1,0 +1,75 @@
+"""Tests for §5.3 even/odd-paired transform simplification."""
+
+import numpy as np
+import pytest
+
+from repro.core.simplify import (
+    is_negation_pair,
+    paired_rows,
+    pairwise_transform,
+    transform_mul_counts,
+)
+from repro.core.transforms import winograd_matrices
+
+
+class TestPairDetection:
+    def test_negation_pair_basics(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        b = np.array([1.0, -2.0, 3.0, -4.0])
+        assert is_negation_pair(a, b)
+        assert not is_negation_pair(a, a + 1)
+
+    @pytest.mark.parametrize("n,r", [(6, 3), (4, 5), (2, 7), (8, 9), (10, 7)])
+    def test_paper_structure_in_dt(self, n, r):
+        """§5.3: rows (2k+1)/(2k+2) of D^T pair up — with our point order
+        that is (alpha-2)//2 pairs covering all interior rows."""
+        m = winograd_matrices(n, r, dtype="float64")
+        pairs = paired_rows(m.DT)
+        alpha = n + r - 1
+        assert len(pairs) == (alpha - 2) // 2
+        covered = {i for p in pairs for i in p}
+        assert covered == set(range(1, alpha - 1))
+
+    @pytest.mark.parametrize("n,r", [(6, 3), (4, 5), (8, 9)])
+    def test_paper_structure_in_g_and_at(self, n, r):
+        """The same pairing holds in G rows and in A^T columns (A rows)."""
+        m = winograd_matrices(n, r, dtype="float64")
+        assert len(paired_rows(m.G)) == (m.alpha - 2) // 2
+        # A^T pairs along columns -> transpose
+        assert len(paired_rows(np.ascontiguousarray(m.AT.T))) == (m.alpha - 2) // 2
+
+
+class TestPairwiseTransform:
+    @pytest.mark.parametrize("n,r", [(6, 3), (4, 5), (8, 9)])
+    def test_matches_dense_matvec(self, rng, n, r):
+        m = winograd_matrices(n, r, dtype="float64")
+        x = rng.standard_normal(m.alpha)
+        np.testing.assert_allclose(pairwise_transform(m.DT, x), m.DT @ x, rtol=1e-12)
+
+    def test_batched_axes(self, rng):
+        m = winograd_matrices(6, 3, dtype="float64")
+        x = rng.standard_normal((m.alpha, 4, 5))
+        got = pairwise_transform(m.DT, x)
+        want = np.tensordot(m.DT, x, axes=(1, 0))
+        np.testing.assert_allclose(got, want, rtol=1e-12)
+
+    def test_unpaired_matrix_falls_back(self, rng):
+        m = rng.standard_normal((3, 3))
+        x = rng.standard_normal(3)
+        np.testing.assert_allclose(pairwise_transform(m, x), m @ x, rtol=1e-12)
+
+
+class TestMulCounts:
+    @pytest.mark.parametrize("n,r", [(6, 3), (4, 5), (2, 7), (8, 9)])
+    def test_roughly_half_for_dt(self, n, r):
+        """§5.3: 'reducing the number of necessary multiplications by nearly
+        half' — paired evaluation needs at most ~60% of dense muls."""
+        m = winograd_matrices(n, r, dtype="float64")
+        c = transform_mul_counts(m.DT)
+        assert c["paired"] < 0.62 * c["dense"]
+        assert c["saved"] == c["dense"] - c["paired"]
+
+    def test_zero_entries_free(self):
+        m = np.array([[1.0, 0.0], [0.0, 1.0]])
+        c = transform_mul_counts(m)
+        assert c["dense"] == 2

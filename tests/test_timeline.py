@@ -1,0 +1,57 @@
+"""Tests for the event-level block timeline (repro.gpusim.timeline)."""
+
+import pytest
+
+from repro.core.variants import variant_spec
+from repro.gpusim.timeline import TimelineResult, simulate_block_timeline
+
+
+class TestTimeline:
+    def test_double_buffering_helps(self):
+        """§5.1: the double buffer is there to hide tile loads — forcing a
+        Gamma_8 kernel single-buffered must cost cycles."""
+        spec = variant_spec(8, 6, 3)
+        db = simulate_block_timeline(spec, iterations=48)
+        sb = simulate_block_timeline(spec, iterations=48, force_single_buffer=True)
+        assert db.cycles_per_iteration < sb.cycles_per_iteration
+        assert db.utilisation > sb.utilisation
+
+    def test_alpha16_single_buffered_by_construction(self):
+        spec = variant_spec(16, 8, 9)
+        plain = simulate_block_timeline(spec, iterations=48)
+        forced = simulate_block_timeline(spec, iterations=48, force_single_buffer=True)
+        assert plain.cycles_per_iteration == forced.cycles_per_iteration
+
+    def test_utilisation_bounded(self):
+        for alpha, n, r in [(4, 3, 2), (8, 4, 5), (16, 10, 7)]:
+            res = simulate_block_timeline(variant_spec(alpha, n, r), iterations=24)
+            assert 0 < res.utilisation <= 1.0
+
+    def test_more_resident_blocks_hide_more(self):
+        spec = variant_spec(16, 8, 9)
+        one = simulate_block_timeline(spec, iterations=48, resident_blocks=1)
+        two = simulate_block_timeline(spec, iterations=48, resident_blocks=2)
+        assert two.exposed_latency < one.exposed_latency
+
+    def test_steady_state_approaches_per_iteration_cost(self):
+        """Pipeline fill amortises: cost/iter decreases with iterations."""
+        spec = variant_spec(8, 6, 3)
+        short = simulate_block_timeline(spec, iterations=2)
+        long = simulate_block_timeline(spec, iterations=200)
+        assert long.cycles_per_iteration < short.cycles_per_iteration
+
+    def test_ruse_loads_fewer_words(self):
+        base = simulate_block_timeline(variant_spec(8, 4, 5), iterations=48)
+        ruse = simulate_block_timeline(variant_spec(8, 4, 5, "ruse"), iterations=48)
+        assert ruse.load_cycles < base.load_cycles
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError, match="iterations"):
+            simulate_block_timeline(variant_spec(8, 6, 3), iterations=0)
+
+    def test_components_positive(self):
+        res = simulate_block_timeline(variant_spec(8, 6, 3), iterations=10)
+        assert isinstance(res, TimelineResult)
+        assert res.compute_cycles > 0
+        assert res.load_cycles > 0
+        assert res.transform_cycles > 0

@@ -1,0 +1,131 @@
+"""Tests for exact Toom-Cook transform synthesis (repro.core.transforms)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.transforms import (
+    max_matrix_magnitude,
+    verify_exact,
+    winograd_matrices,
+    winograd_matrices_exact,
+)
+
+#: Every (n, r) pair the paper's kernels can instantiate.
+PAPER_SCHEMES = (
+    [(5 - r, r) for r in (2, 3)]
+    + [(9 - r, r) for r in range(2, 8)]
+    + [(17 - r, r) for r in range(2, 16)]
+)
+
+
+class TestExactIdentity:
+    @pytest.mark.parametrize("n,r", PAPER_SCHEMES)
+    def test_all_paper_schemes_verify(self, n, r):
+        """The bilinear identity holds symbolically for every shipped scheme."""
+        assert verify_exact(n, r)
+
+    @given(st.integers(min_value=1, max_value=7), st.integers(min_value=1, max_value=7))
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary_small_schemes_verify(self, n, r):
+        assert verify_exact(n, r)
+
+    def test_exact_correlation_on_random_rationals(self):
+        """Evaluate the full pipeline on rational data — bitwise exact."""
+        n, r = 4, 5
+        alpha = n + r - 1
+        at, g, dt = winograd_matrices_exact(n, r)
+        rng = np.random.default_rng(3)
+        w = [Fraction(int(v), 7) for v in rng.integers(-20, 20, r)]
+        x = [Fraction(int(v), 3) for v in rng.integers(-20, 20, alpha)]
+        gw = [sum(g[i][k] * w[k] for k in range(r)) for i in range(alpha)]
+        dx = [sum(dt[i][l] * x[l] for l in range(alpha)) for i in range(alpha)]
+        prod = [gw[i] * dx[i] for i in range(alpha)]
+        y = [sum(at[j][i] * prod[i] for i in range(alpha)) for j in range(n)]
+        want = [sum(x[j + k] * w[k] for k in range(r)) for j in range(n)]
+        assert y == want
+
+
+class TestMatrixShapes:
+    @pytest.mark.parametrize("n,r", [(2, 3), (6, 3), (4, 5), (8, 9)])
+    def test_shapes(self, n, r):
+        m = winograd_matrices(n, r)
+        alpha = n + r - 1
+        assert m.AT.shape == (n, alpha)
+        assert m.G.shape == (alpha, r)
+        assert m.DT.shape == (alpha, alpha)
+        assert m.alpha == alpha
+
+    def test_dtype_float32_default(self):
+        m = winograd_matrices(2, 3)
+        assert m.AT.dtype == np.float32
+
+    def test_as_dtype(self):
+        m = winograd_matrices(2, 3).as_dtype(np.float64)
+        assert m.DT.dtype == np.float64
+
+    def test_caching_returns_same_object(self):
+        assert winograd_matrices(6, 3) is winograd_matrices(6, 3)
+
+    @pytest.mark.parametrize("n,r", [(0, 3), (3, 0), (-2, 5)])
+    def test_invalid_nr_rejected(self, n, r):
+        with pytest.raises(ValueError):
+            winograd_matrices_exact(n, r)
+
+
+class TestCanonicalF23:
+    """Our F(2,3) must match the canonical Lavin-Gray matrices up to the
+    equivalence transform (per-state rescaling c_i of G row i compensated by
+    1/c_i on the D^T row)."""
+
+    def test_infinity_structure(self):
+        at, g, dt = winograd_matrices_exact(2, 3)
+        # Infinity column of A^T: only the last output row sees it.
+        assert [row[3] for row in at] == [Fraction(0), Fraction(1)]
+        # Infinity row of G: picks the leading filter coefficient.
+        assert list(g[3]) == [Fraction(0), Fraction(0), Fraction(1)]
+
+    def test_equivalent_to_lavin(self):
+        """Per-state rank-1 tensors A^T[:,i] x G[i,:] x D^T[i,:] must match
+        Lavin's exactly — that is the scaling-invariant content of the scheme
+        (same interpolation points in the same order)."""
+        at, g, dt = winograd_matrices_exact(2, 3)
+        lavin_at = [[1, 1, 1, 0], [0, 1, -1, -1]]
+        lavin_g = [
+            [Fraction(1), 0, 0],
+            [Fraction(1, 2), Fraction(1, 2), Fraction(1, 2)],
+            [Fraction(1, 2), Fraction(-1, 2), Fraction(1, 2)],
+            [0, 0, Fraction(1)],
+        ]
+        lavin_bt = [
+            [1, 0, -1, 0],
+            [0, 1, 1, 0],
+            [0, -1, 1, 0],
+            [0, 1, 0, -1],
+        ]
+        for i in range(4):
+            for j in range(2):
+                for k in range(3):
+                    for l in range(4):
+                        ours = at[j][i] * g[i][k] * dt[i][l]
+                        theirs = (
+                            Fraction(lavin_at[j][i])
+                            * Fraction(lavin_g[i][k])
+                            * Fraction(lavin_bt[i][l])
+                        )
+                        assert ours == theirs, (i, j, k, l)
+
+
+class TestMagnitudeDisparity:
+    def test_alpha16_much_larger_than_alpha8(self):
+        """§6.2.2: transform-entry disparity grows with alpha, hurting FP32."""
+        m8 = max_matrix_magnitude(6, 3)
+        m16 = max_matrix_magnitude(8, 9)
+        assert m16 > 100 * m8
+
+    def test_monotone_in_alpha_along_r_fixed(self):
+        mags = [max_matrix_magnitude(a - 2, 3) for a in (4, 8, 16)]
+        assert mags[0] < mags[1] < mags[2]

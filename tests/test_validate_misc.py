@@ -1,0 +1,75 @@
+"""Coverage for the self-check CLI and assorted small APIs."""
+
+import numpy as np
+import pytest
+
+from repro.validate import main, run_validation
+
+
+class TestValidate:
+    def test_run_validation_passes(self, capsys):
+        run_validation()
+        out = capsys.readouterr().out
+        assert "all 6 checks passed" in out
+
+    def test_main_exit_code(self, capsys):
+        assert main() == 0
+
+
+class TestPackageSurface:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_top_level_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_core_exports_resolve(self):
+        import repro.core as core
+
+        for name in core.__all__:
+            assert getattr(core, name, None) is not None, name
+
+    def test_gpusim_exports_resolve(self):
+        import repro.gpusim as g
+
+        for name in g.__all__:
+            assert getattr(g, name, None) is not None, name
+
+    def test_dlframe_exports_resolve(self):
+        import repro.dlframe as d
+
+        for name in d.__all__:
+            assert getattr(d, name, None) is not None, name
+
+    def test_bench_exports_resolve(self):
+        import repro.bench as b
+
+        for name in b.__all__:
+            assert getattr(b, name, None) is not None, name
+
+
+class TestTensorMisc:
+    def test_repr_and_size(self):
+        from repro.dlframe import Tensor
+
+        t = Tensor(np.zeros((2, 3)), name="probe")
+        assert "probe" in repr(t)
+        assert t.size == 6 and t.shape == (2, 3)
+
+    def test_winograd1d_multiplication_counts_dict(self):
+        from repro.core import multiplication_counts
+
+        c = multiplication_counts(4, 5)
+        assert set(c) == {"winograd_muls", "standard_muls", "reduction"}
+
+    def test_kernelid_spec_roundtrip(self):
+        from repro.core import KernelId
+
+        k = KernelId(8, 4, 5, "ruse")
+        assert k.spec.variant == "ruse"
+        assert k.spec.name == k.name

@@ -1,0 +1,115 @@
+"""Tests for the 1D Winograd primitive (repro.core.winograd1d)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.winograd1d import (
+    multiplication_counts,
+    winograd_1d,
+    winograd_1d_batched,
+    winograd_1d_tile,
+)
+
+
+def correlate_valid(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    out = np.empty(len(x) - len(w) + 1, dtype=np.float64)
+    for j in range(len(out)):
+        out[j] = np.dot(x[j : j + len(w)].astype(np.float64), w.astype(np.float64))
+    return out
+
+
+class TestSingleTile:
+    @pytest.mark.parametrize("n,r", [(2, 3), (3, 2), (6, 3), (4, 5), (2, 7), (8, 9)])
+    def test_matches_direct(self, rng, n, r):
+        x = rng.standard_normal(n + r - 1).astype(np.float32)
+        w = rng.standard_normal(r).astype(np.float32)
+        got = winograd_1d_tile(x, w, n)
+        want = correlate_valid(x, w)
+        tol = 1e-3 if n + r - 1 >= 16 else 1e-4
+        np.testing.assert_allclose(got, want, rtol=tol, atol=tol)
+
+    def test_wrong_tile_length_rejected(self, rng):
+        with pytest.raises(ValueError, match="alpha"):
+            winograd_1d_tile(rng.standard_normal(5), rng.standard_normal(3), 2)
+
+    def test_float64_path(self, rng):
+        x = rng.standard_normal(8)
+        w = rng.standard_normal(3)
+        got = winograd_1d_tile(x, w, 6)
+        np.testing.assert_allclose(got, correlate_valid(x, w), rtol=1e-12)
+
+
+class TestFullCorrelation:
+    @given(
+        length=st.integers(min_value=7, max_value=40),
+        n=st.sampled_from([2, 3, 4, 6]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_any_length_with_ragged_tail(self, length, n):
+        rng = np.random.default_rng(length * 101 + n)
+        x = rng.standard_normal(length).astype(np.float32)
+        w = rng.standard_normal(3).astype(np.float32)
+        got = winograd_1d(x, w, n)
+        want = correlate_valid(x, w)
+        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-4)
+
+    def test_too_short_input_rejected(self):
+        with pytest.raises(ValueError, match="shorter"):
+            winograd_1d(np.zeros(2, dtype=np.float32), np.zeros(4, dtype=np.float32), 2)
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(ValueError, match="1D"):
+            winograd_1d(np.zeros((3, 3), dtype=np.float32), np.zeros(2, dtype=np.float32), 2)
+
+
+class TestBatched:
+    def test_broadcasting_over_leading_axes(self, rng):
+        n, r = 4, 5
+        alpha = n + r - 1
+        tiles = rng.standard_normal((3, 7, alpha)).astype(np.float32)
+        filters = rng.standard_normal((3, 7, r)).astype(np.float32)
+        got = winograd_1d_batched(tiles, filters, n)
+        assert got.shape == (3, 7, n)
+        for i in range(3):
+            for j in range(7):
+                want = correlate_valid(tiles[i, j], filters[i, j])
+                np.testing.assert_allclose(got[i, j], want, rtol=1e-4, atol=1e-4)
+
+    def test_filter_broadcast(self, rng):
+        """One filter against many tiles (the conv inner pattern)."""
+        n, r = 6, 3
+        tiles = rng.standard_normal((5, n + r - 1)).astype(np.float32)
+        w = rng.standard_normal(r).astype(np.float32)
+        got = winograd_1d_batched(tiles, w, n)
+        for i in range(5):
+            np.testing.assert_allclose(
+                got[i], correlate_valid(tiles[i], w), rtol=1e-4, atol=1e-4
+            )
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError, match="alpha"):
+            winograd_1d_batched(
+                rng.standard_normal((2, 9)), rng.standard_normal((2, 3)), n=6
+            )
+
+
+class TestMultiplicationCounts:
+    def test_f23(self):
+        c = multiplication_counts(2, 3)
+        assert c["winograd_muls"] == 4
+        assert c["standard_muls"] == 6
+        assert c["reduction"] == pytest.approx(1.5)
+
+    def test_gamma8_63_matches_f2x2_3x3(self):
+        """§4.2: both F(2x2,3x3) and Gamma_8(6,3) reduce muls to 1/2.25."""
+        c = multiplication_counts(6, 3)
+        assert c["reduction"] == pytest.approx(2.25)
+
+    def test_reduction_peaks_at_center(self):
+        """§6.1.2: for fixed alpha=8, reduction is symmetric about r=4.5."""
+        reds = {r: multiplication_counts(9 - r, r)["reduction"] for r in range(2, 8)}
+        assert reds[4] == reds[5] == max(reds.values())
+        assert reds[2] == reds[7] == min(reds.values())
+        assert reds[3] == reds[6]

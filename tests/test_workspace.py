@@ -1,0 +1,70 @@
+"""Tests for the workspace accounting (the §3/§6.1.1 memory argument)."""
+
+import pytest
+
+from repro.core.workspace import (
+    workspace_explicit_gemm,
+    workspace_fft,
+    workspace_fused_winograd,
+    workspace_implicit_gemm,
+    workspace_nonfused_winograd2d,
+    workspace_report,
+)
+from repro.nhwc import ConvShape
+
+
+def shape(batch=32, hw=32, c=128, r=3):
+    return ConvShape.from_ofm(batch, hw, hw, c, r=r)
+
+
+class TestWorkspaces:
+    def test_fused_is_zero(self):
+        """§4.1: 'do not use any workspace to store intermediate variables'."""
+        assert workspace_fused_winograd(shape()) == 0
+
+    def test_nonfused_much_larger_than_fused(self):
+        """§6.1.1: the reason Non_Fused_Winograd is not a fair baseline."""
+        s = shape()
+        assert workspace_nonfused_winograd2d(s) > 100 * 1024 * 1024  # >100 MB
+
+    def test_fft_much_larger_than_implicit(self):
+        s = shape()
+        assert workspace_fft(s) > 50 * workspace_implicit_gemm(s)
+
+    def test_explicit_gemm_is_gm_gk(self):
+        s = shape(batch=2, hw=8, c=16, r=3)
+        gm = 2 * 8 * 8
+        gk = 3 * 3 * 16
+        assert workspace_explicit_gemm(s) == gm * gk * 4
+
+    def test_nonfused_formula(self):
+        """U + V + M with alpha = 4, m = 2."""
+        s = shape(batch=1, hw=8, c=4, r=3)
+        tiles = 16  # (8/2)^2
+        expect = (16 * 4 * 4 + 16 * 1 * tiles * 4 + 16 * 1 * tiles * 4) * 4
+        assert workspace_nonfused_winograd2d(s) == expect
+
+    def test_nonfused_requires_square(self):
+        s = ConvShape(batch=1, ih=8, iw=8, ic=4, oc=4, fh=3, fw=5, ph=1, pw=2)
+        with pytest.raises(ValueError, match="square"):
+            workspace_nonfused_winograd2d(s)
+
+    def test_report_ordering(self):
+        """The paper's qualitative ranking: fused ~ implicit << explicit,
+        non-fused, FFT."""
+        r = workspace_report(shape())
+        assert r["fused-im2col-winograd"] == 0
+        assert r["implicit-gemm"] < 1e5
+        for heavy in ("explicit-gemm", "nonfused-winograd2d", "fft"):
+            assert r[heavy] > 100 * r["implicit-gemm"], heavy
+
+    def test_report_skips_2d_winograd_for_rect_filters(self):
+        s = ConvShape(batch=1, ih=8, iw=8, ic=4, oc=4, fh=3, fw=5, ph=1, pw=2)
+        assert "nonfused-winograd2d" not in workspace_report(s)
+
+    def test_nonfused_grows_with_filter_size(self):
+        """§3: alpha = m + r - 1 states per tile — at fixed m and output
+        size, a larger filter inflates the transform-domain workspace."""
+        assert workspace_nonfused_winograd2d(shape(r=5), m=2) > workspace_nonfused_winograd2d(
+            shape(r=3), m=2
+        )
