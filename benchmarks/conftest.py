@@ -9,6 +9,12 @@ Scale control: the paper's Experiment-2/3 workloads are sized for a GPU; a
 NumPy reproduction runs them at reduced batch / model width.  Set
 ``REPRO_BENCH_SCALE=full`` for paper-sized batches (slow) or leave the
 default ``small``.
+
+Tracing: any benchmark run can opt into the observability layer with
+``--trace-json out.json`` (``--trace`` itself is taken by pytest's debugger);
+the whole session runs with ``repro.obs`` enabled and a Chrome-trace JSON —
+profile it with ``python -m repro.obs.report out.json`` or open it in
+Perfetto — is written next to the usual ASCII artifacts.
 """
 
 from __future__ import annotations
@@ -19,6 +25,60 @@ import pathlib
 import pytest
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--trace-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="enable repro.obs tracing for the whole benchmark session and "
+        "write a Chrome-trace JSON (Perfetto-loadable) to PATH",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    path = config.getoption("--trace-json", default=None)
+    if path:
+        parent = pathlib.Path(path).resolve().parent
+        if not parent.is_dir():
+            raise pytest.UsageError(f"--trace-json: directory {parent} does not exist")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _obs_trace(request: pytest.FixtureRequest):
+    """Session-wide tracing hook behind ``--trace-json``."""
+    path = request.config.getoption("--trace-json")
+    if not path:
+        yield
+        return
+    from repro import obs
+
+    obs.reset()
+    obs.get_registry().reset()
+    obs.enable()
+    try:
+        yield
+    finally:
+        obs.disable()
+
+
+def pytest_terminal_summary(
+    terminalreporter, exitstatus: int, config: pytest.Config
+) -> None:
+    """Write the Chrome trace after the run (visible despite output capture)."""
+    path = config.getoption("--trace-json", default=None)
+    if not path:
+        return
+    from repro import obs
+
+    written = obs.write_chrome_trace(path)
+    terminalreporter.write_line(
+        f"[repro.obs] Chrome trace written to {written} "
+        f"({obs.get_tracer().span_count()} spans); "
+        f"profile it with: python -m repro.obs.report {written}"
+    )
 
 
 def bench_scale() -> str:

@@ -26,14 +26,26 @@ def banner(artifact: str, detail: str = "") -> str:
 
 
 def table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
-    """Fixed-width ASCII table."""
-    cols = [list(map(str, col)) for col in zip(headers, *rows)]
-    widths = [max(len(v) for v in col) for col in cols]
+    """Fixed-width ASCII table.
+
+    Tolerates ``rows`` being empty (header + separator only), a one-shot
+    iterable (materialised once, so the width pass doesn't consume it), and
+    ragged rows (short rows pad, long rows would previously be truncated by
+    the ``zip(headers, *rows)`` width computation).
+    """
+    headers = [str(h) for h in headers]
+    norm_rows = [[str(v) for v in row] for row in rows]
+    ncols = max([len(headers)] + [len(r) for r in norm_rows])
+    widths = [0] * ncols
+    for vals in [headers] + norm_rows:
+        for i, v in enumerate(vals):
+            widths[i] = max(widths[i], len(v))
     def fmt_row(vals):
-        return "  ".join(str(v).rjust(w) for v, w in zip(vals, widths))
+        padded = list(vals) + [""] * (ncols - len(vals))
+        return "  ".join(v.rjust(w) for v, w in zip(padded, widths))
     sep = "  ".join("-" * w for w in widths)
     lines = [fmt_row(headers), sep]
-    lines.extend(fmt_row(r) for r in rows)
+    lines.extend(fmt_row(r) for r in norm_rows)
     return "\n".join(lines)
 
 

@@ -38,6 +38,7 @@ import numpy as np
 
 from ..nhwc.tensor import conv_output_size, im2col_nhwc
 from ..nhwc.tiles import extract_width_tiles
+from ..obs import counter_add, span
 from .boundary import Segment, plan_width_segments
 from .kernels import KernelId, default_alpha_for_width, get_kernel
 from .transforms import TransformMatrices, winograd_matrices
@@ -124,15 +125,42 @@ def conv2d_im2col_winograd(
         raise ValueError(f"empty output {oh}x{ow}")
 
     y = np.empty((n_, oh, ow, oc), dtype=dtype)
-    for seg in plan_width_segments(ow, fw, primary=primary):
-        if seg.is_gemm:
-            y[:, :, seg.start : seg.start + seg.width, :] = gemm_segment(
-                x, w, seg, ph=ph, pw=pw, oh=oh
-            )
-        else:
-            y[:, :, seg.start : seg.start + seg.width, :] = winograd_segment(
-                x, w, seg, ph=ph, pw=pw, oh=oh, block_ic=block_ic
-            )
+    segments = plan_width_segments(ow, fw, primary=primary)
+    with span(
+        "conv2d",
+        batch=n_,
+        ih=ih,
+        iw=iw,
+        ic=ic,
+        oc=oc,
+        fh=fh,
+        fw=fw,
+        oh=oh,
+        ow=ow,
+        alpha=alpha,
+        variant=variant,
+        segments=len(segments),
+    ):
+        # Paper-metric numerator (§6.1.1): standard-convolution FLOPs.
+        counter_add("conv.calls")
+        counter_add("conv.flops", 2 * n_ * oc * oh * ow * fh * fw * ic)
+        for seg in segments:
+            if seg.is_gemm:
+                with span("segment", kind="gemm", start=seg.start, width=seg.width):
+                    y[:, :, seg.start : seg.start + seg.width, :] = gemm_segment(
+                        x, w, seg, ph=ph, pw=pw, oh=oh
+                    )
+            else:
+                with span(
+                    "segment",
+                    kind="winograd",
+                    kernel=seg.name,
+                    start=seg.start,
+                    width=seg.width,
+                ):
+                    y[:, :, seg.start : seg.start + seg.width, :] = winograd_segment(
+                        x, w, seg, ph=ph, pw=pw, oh=oh, block_ic=block_ic
+                    )
     return y
 
 
@@ -167,38 +195,51 @@ def winograd_segment(
     if mats is None:
         mats = winograd_matrices(n_out, r, dtype=x.dtype.name)
 
+    counter_add("winograd.segments", kernel=kernel.name)
+    counter_add("winograd.tiles", batch * oh * num_tiles, kernel=kernel.name)
+    counter_add(
+        "winograd.elem_mul_flops",
+        2 * batch * oh * num_tiles * oc * alpha * fh * ic,
+        kernel=kernel.name,
+    )
+
     # Filter transform: U[fh, k, icb, oc] = sum_p G[k, p] * w[oc, fh, p, ic].
     # Computed once for the whole segment (the kernels re-derive it per
     # iteration from SMEM; the arithmetic is identical).
-    u_all = np.einsum("kp,ofpi->fkio", mats.G, w, optimize=True)
-    u_all = np.ascontiguousarray(u_all)  # (FH, alpha, IC, OC)
+    with span("transform.filter", kernel=kernel.name):
+        u_all = np.einsum("kp,ofpi->fkio", mats.G, w, optimize=True)
+        u_all = np.ascontiguousarray(u_all)  # (FH, alpha, IC, OC)
 
     # Accumulator: alpha states per (batch*oh*tile, oc) — the register file.
     m = np.zeros((alpha, batch * oh * num_tiles, oc), dtype=x.dtype)
     for f in range(fh):
-        tiles = extract_width_tiles(
-            x,
-            fh_offset=f,
-            ow_start=seg.start,
-            num_tiles=num_tiles,
-            n=n_out,
-            alpha=alpha,
-            ph=ph,
-            pw=pw,
-            oh=oh,
-        )  # (N, OH, T, alpha, IC) view
+        with span("gather", fh_offset=f):
+            tiles = extract_width_tiles(
+                x,
+                fh_offset=f,
+                ow_start=seg.start,
+                num_tiles=num_tiles,
+                n=n_out,
+                alpha=alpha,
+                ph=ph,
+                pw=pw,
+                oh=oh,
+            )  # (N, OH, T, alpha, IC) view
         for c0 in range(0, ic, block_ic):
             c1 = min(c0 + block_ic, ic)
-            blk = np.ascontiguousarray(tiles[..., c0:c1])  # (N, OH, T, alpha, Cb)
-            # Input transform: V[k, ...] = sum_a DT[k, a] * blk[..., a, :].
-            v = np.einsum("ka,nhtac->knhtc", mats.DT, blk, optimize=True)
-            v = v.reshape(alpha, batch * oh * num_tiles, c1 - c0)
+            with span("transform.input", fh_offset=f, ic0=c0, ic1=c1):
+                blk = np.ascontiguousarray(tiles[..., c0:c1])  # (N, OH, T, alpha, Cb)
+                # Input transform: V[k, ...] = sum_a DT[k, a] * blk[..., a, :].
+                v = np.einsum("ka,nhtac->knhtc", mats.DT, blk, optimize=True)
+                v = v.reshape(alpha, batch * oh * num_tiles, c1 - c0)
             # Elementwise product in the transform domain, summed over the
             # channel block: batched (per-state) GEMM, i.e. the 8x(8x8)
             # outer-product stage.
-            m += v @ u_all[f, :, c0:c1, :]
+            with span("accumulate", fh_offset=f, ic0=c0, ic1=c1):
+                m += v @ u_all[f, :, c0:c1, :]
     # Output transform, once: y[j] = sum_k AT[j, k] m[k].
-    y = np.einsum("jk,kmo->mjo", mats.AT, m, optimize=True)
+    with span("transform.output", kernel=kernel.name):
+        y = np.einsum("jk,kmo->mjo", mats.AT, m, optimize=True)
     # (batch*oh*T, n, oc) -> (N, OH, T*n, OC)
     return y.reshape(batch, oh, num_tiles * n_out, oc)
 
@@ -215,6 +256,8 @@ def gemm_segment(
     """
     batch, ih, iw, ic = x.shape
     oc, fh, fw, _ = w.shape
+    counter_add("gemm.tail_segments")
+    counter_add("gemm.tail_columns", seg.width)
     col_lo = seg.start - pw
     need = seg.width + fw - 1
     src_c0 = max(col_lo, 0)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..nhwc.tensor import ConvShape
+from ..obs import counter_add, span
 from .boundary import Segment, plan_width_segments
 from .kernels import KernelId, default_alpha_for_width, get_kernel, supported_filter_widths
 from .variants import ruse_profitable
@@ -76,6 +77,22 @@ def plan_convolution(
     A :class:`ConvPlan`.  Falls back to GEMM (with a human-readable
     ``reason``) whenever the Winograd envelope is violated.
     """
+    with span("plan", fw=shape.fw, ow=shape.ow, stride=shape.stride) as sp:
+        plan = _plan_convolution(shape, alpha=alpha, variant=variant)
+        sp.set(
+            algorithm=plan.algorithm,
+            reason=plan.reason,
+            primary=plan.primary.name if plan.primary is not None else None,
+            segments=len(plan.segments),
+            winograd_fraction=round(plan.winograd_fraction, 4),
+        )
+    counter_add("plan.decisions", algorithm=plan.algorithm)
+    return plan
+
+
+def _plan_convolution(
+    shape: ConvShape, *, alpha: int | None, variant: str | None
+) -> ConvPlan:
     r = shape.fw
     if shape.stride != 1:
         return ConvPlan(shape, "gemm", reason=f"stride {shape.stride} != 1")

@@ -19,6 +19,7 @@ import numpy as np
 from ..baselines.gemm import conv2d_gemm
 from ..core.fused import conv2d_im2col_winograd
 from ..core.gradients import conv2d_filter_grad, conv2d_input_grad
+from ..obs import span
 from .autograd import Tensor, make_op
 from .initializers import kaiming_uniform
 
@@ -215,12 +216,16 @@ class Conv2D(Module):
         stride = self.stride
         engine = self.effective_engine
         xd, wd = x.data, w.data
-        if engine == "winograd" and getattr(self, "_frozen", False):
-            y = self._frozen_forward(xd)
-        elif engine == "winograd":
-            y = conv2d_im2col_winograd(xd, wd, ph=ph, pw=pw)
-        else:
-            y = conv2d_gemm(xd, wd, ph=ph, pw=pw, stride=stride)
+        with span(
+            "layer.conv2d", engine=engine, ic=self.ic, oc=self.oc,
+            kernel=self.kernel, stride=stride, frozen=getattr(self, "_frozen", False),
+        ):
+            if engine == "winograd" and getattr(self, "_frozen", False):
+                y = self._frozen_forward(xd)
+            elif engine == "winograd":
+                y = conv2d_im2col_winograd(xd, wd, ph=ph, pw=pw)
+            else:
+                y = conv2d_gemm(xd, wd, ph=ph, pw=pw, stride=stride)
         if self.bias is not None:
             y = y + self.bias.data
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import counter_add, gauge_set, span
 from .autograd import Tensor, no_grad
 from .data import SyntheticImages
 from .layers import Conv2D, Module
@@ -68,12 +69,19 @@ class Trainer:
     def train_step(self, x: np.ndarray, y_onehot: np.ndarray) -> float:
         """One optimisation step; returns the batch loss."""
         self.model.train()
-        logits = self.model(Tensor(x))
-        loss = softmax_cross_entropy(logits, y_onehot)
-        self.optimizer.zero_grad()
-        loss.backward()
-        self.optimizer.step()
-        value = float(loss.data)
+        with span("train.step", step=self._step, batch=len(x)) as sp:
+            with span("train.forward"):
+                logits = self.model(Tensor(x))
+                loss = softmax_cross_entropy(logits, y_onehot)
+            self.optimizer.zero_grad()
+            with span("train.backward"):
+                loss.backward()
+            with span("train.optimizer"):
+                self.optimizer.step()
+            value = float(loss.data)
+            sp.set(loss=round(value, 6))
+        counter_add("train.steps")
+        counter_add("train.samples", len(x))
         if self._step % self.record_every == 0:
             self.record.losses.append(value)
             self.record.loss_steps.append(self._step)
@@ -91,14 +99,20 @@ class Trainer:
     ) -> TrainRecord:
         """Train for ``epochs``; fills and returns the :class:`TrainRecord`."""
         rng = np.random.default_rng(seed)
-        for _ in range(epochs):
+        for epoch in range(epochs):
             t0 = time.perf_counter()
-            for xb, yb in train.batches(batch_size, rng=rng):
-                self.train_step(xb, yb)
-            self.record.epoch_seconds.append(time.perf_counter() - t0)
-        self.record.train_accuracy = self.evaluate(train, batch_size=batch_size)
+            with span("train.epoch", epoch=epoch, batch_size=batch_size) as sp:
+                for xb, yb in train.batches(batch_size, rng=rng):
+                    self.train_step(xb, yb)
+            elapsed = time.perf_counter() - t0
+            sp.set(seconds=round(elapsed, 6))
+            gauge_set("train.epoch_seconds", elapsed, epoch=epoch)
+            self.record.epoch_seconds.append(elapsed)
+        with span("train.evaluate", split="train"):
+            self.record.train_accuracy = self.evaluate(train, batch_size=batch_size)
         if test is not None:
-            self.record.test_accuracy = self.evaluate(test, batch_size=batch_size)
+            with span("train.evaluate", split="test"):
+                self.record.test_accuracy = self.evaluate(test, batch_size=batch_size)
         self.record.memory_bytes = measure_training_memory(
             self.model, train.x[: min(batch_size, len(train))].shape
         ) + _optimizer_state_bytes(self.optimizer)

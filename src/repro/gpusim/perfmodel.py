@@ -34,6 +34,7 @@ from ..core.planner import ConvPlan, plan_convolution
 from ..core.variants import VariantSpec, input_items_per_tile
 from ..nhwc.layouts import filter_transposition_bytes
 from ..nhwc.tensor import ConvShape
+from ..obs import gauge_set, observe, span
 from . import calibration as cal
 from .blocking import GridPlan, grid_for
 from .device import DeviceSpec
@@ -158,6 +159,13 @@ def estimate_winograd_segment(
     mem_s = _memory_time(device, load_bytes, store_bytes, unique_in + unique_w, grid)
 
     time_s = max(compute_s, mem_s) + device.launch_overhead_us * 1e-6
+    observe("model.segment_ns", time_s * 1e9, kernel=kernel.name, device=device.name)
+    gauge_set(
+        "model.occupancy_warps",
+        grid.occupancy.active_warps,
+        kernel=kernel.name,
+        device=device.name,
+    )
     return SegmentEstimate(
         name=kernel.name,
         width=ow,
@@ -244,25 +252,28 @@ def estimate_conv(
         plan = plan_convolution(shape, alpha=alpha, variant=variant)
     if plan.algorithm != "im2col-winograd":
         raise ValueError(f"planner refused Winograd: {plan.reason}")
-    segs: list[SegmentEstimate] = []
-    for seg in plan.segments:
-        if seg.is_gemm:
-            segs.append(estimate_boundary_gemm_segment(shape, device, seg.width))
-        else:
-            segs.append(
-                estimate_winograd_segment(
-                    shape,
-                    seg.kernel,  # type: ignore[arg-type]
-                    device,
-                    ow_segment=seg.width,
-                    paired_transforms=paired_transforms,
-                )
-            )
-    time_s = sum(s.time_ms for s in segs) * 1e-3
-    if include_filter_transpose:
-        tbytes = filter_transposition_bytes(shape.oc, shape.fh, shape.fw, shape.ic)
-        time_s += tbytes / (device.dram_bw_gbs * 1e9) + device.launch_overhead_us * 1e-6
     name = plan.primary.name if plan.primary is not None else "im2col-winograd"
+    with span("model.estimate_conv", kernel=name, device=device.name, ow=shape.ow) as sp:
+        segs: list[SegmentEstimate] = []
+        for seg in plan.segments:
+            if seg.is_gemm:
+                segs.append(estimate_boundary_gemm_segment(shape, device, seg.width))
+            else:
+                segs.append(
+                    estimate_winograd_segment(
+                        shape,
+                        seg.kernel,  # type: ignore[arg-type]
+                        device,
+                        ow_segment=seg.width,
+                        paired_transforms=paired_transforms,
+                    )
+                )
+        time_s = sum(s.time_ms for s in segs) * 1e-3
+        if include_filter_transpose:
+            tbytes = filter_transposition_bytes(shape.oc, shape.fh, shape.fw, shape.ic)
+            time_s += tbytes / (device.dram_bw_gbs * 1e9) + device.launch_overhead_us * 1e-6
+        sp.set(time_ms=round(time_s * 1e3, 6), segments=len(segs))
+    observe("model.predicted_ns", time_s * 1e9, algorithm=name, device=device.name)
     return PerfEstimate(
         algorithm=name + ("" if include_filter_transpose else "*"),
         device=device.name,

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.variants import VariantSpec
+from ..obs import counter_add
 from .smem import SmemArray, conflict_degree, vectorized_conflict_degree
 from .warp import (
     linear_lane_arrangement,
@@ -115,6 +116,8 @@ def simulate_block_iteration(
             phases += vectorized_conflict_degree(g_base, 4) * 2  # 2x128-bit from Gs
             phases += vectorized_conflict_degree(d_base, 4) * 2  # 2x128-bit from Ds
             ideal += 4
+    counter_add("smem.phases", phases, stage="iteration", alpha=spec.alpha)
+    counter_add("smem.ideal_phases", ideal, stage="iteration", alpha=spec.alpha)
     return TraceResult(phases, ideal)
 
 
@@ -147,4 +150,6 @@ def simulate_output_stage(spec: VariantSpec, *, padded: bool = True) -> TraceRes
                 addrs.append(ys.address(ux, uy, (4 * rnd) % inner))
             phases += vectorized_conflict_degree(addrs, 4)
             ideal += 1
+    counter_add("smem.phases", phases, stage="output", alpha=spec.alpha)
+    counter_add("smem.ideal_phases", ideal, stage="output", alpha=spec.alpha)
     return TraceResult(phases, ideal)

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import counter_add
+
 __all__ = ["extract_width_tiles", "tile_overlap", "tile_count"]
 
 
@@ -96,6 +98,11 @@ def extract_width_tiles(
         strides=(sn, sh, sw * n, sw, sc),
         writeable=False,
     )
+    # Logical gather volume: what the CUDA kernels' load addresses would
+    # actually read (the overlap is re-read, per Figure 6), not the view's
+    # physical footprint.
+    counter_add("gather.calls")
+    counter_add("gather.bytes", batch * oh * num_tiles * alpha * ic * x.itemsize)
     return tiles
 
 

@@ -1,0 +1,89 @@
+"""repro.obs — pipeline-wide telemetry: spans, counters, Chrome-trace export.
+
+The observability layer the paper's measurements imply: nestable wall-clock
+spans over the conv -> segment -> transform hierarchy, a process-wide
+registry of the quantities the paper plots (flops, gathered bytes, tiles,
+segments, GEMM-tail columns, SMEM transaction phases, occupancy, modeled
+nanoseconds), and exporters to Chrome-trace JSON (``chrome://tracing`` /
+Perfetto) plus text summaries.
+
+Everything is **off by default** and near-free while disabled: call sites
+pay one module-global check, ``span()`` returns a shared no-op context
+manager, and the metric helpers return immediately.
+
+Sixty-second tour::
+
+    from repro import obs
+
+    obs.enable()
+    y = conv2d_im2col_winograd(x, w)          # hot paths self-instrument
+    print(obs.get_tracer().summary())         # indented span tree
+    print(obs.metrics_json())                 # counters/gauges/histograms
+    obs.write_chrome_trace("trace.json")      # open in Perfetto
+    obs.disable()
+
+or, scoped (resets the tracer + registry, restores the flag)::
+
+    with obs.capture() as tracer:
+        y = conv2d_im2col_winograd(x, w)
+    print(tracer.summary())
+
+The CLI ``python -m repro.obs.report trace.json`` prints a self/cumulative
+profile table and the top counters of any recorded trace.
+"""
+
+from .chrometrace import chrome_trace, write_chrome_trace
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter_add,
+    gauge_set,
+    get_registry,
+    metrics_json,
+    observe,
+)
+from .summary import aggregate, format_duration, render_tree
+from .tracer import (
+    NULL_SPAN,
+    SpanRecord,
+    Tracer,
+    capture,
+    disable,
+    enable,
+    enabled,
+    get_tracer,
+    reset,
+    span,
+)
+
+__all__ = [
+    # tracer
+    "Tracer",
+    "SpanRecord",
+    "span",
+    "enable",
+    "disable",
+    "enabled",
+    "capture",
+    "get_tracer",
+    "reset",
+    "NULL_SPAN",
+    # metrics
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "get_registry",
+    "counter_add",
+    "gauge_set",
+    "observe",
+    "metrics_json",
+    # exporters
+    "chrome_trace",
+    "write_chrome_trace",
+    "render_tree",
+    "aggregate",
+    "format_duration",
+]

@@ -1,0 +1,124 @@
+"""Chrome-trace-format export (``chrome://tracing`` / Perfetto loadable).
+
+Emits the JSON object format of the Trace Event specification:
+
+* every :class:`~repro.obs.tracer.SpanRecord` becomes one complete
+  (``"ph": "X"``) event with microsecond ``ts``/``dur`` relative to the
+  tracer's time origin and its attributes under ``args``;
+* every counter/gauge in the metrics registry becomes one counter
+  (``"ph": "C"``) event stamped at the end of the trace, one series per
+  label set (histograms export their sum, which Perfetto can still plot);
+* process/thread-name metadata events label the timeline.
+
+The output round-trips through :mod:`repro.obs.report`, which rebuilds the
+span hierarchy purely from the ``ts``/``dur`` containment — the same way
+Perfetto nests slices — so the CLI agrees with the UI by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry, label_string
+from .tracer import Tracer, get_tracer
+
+__all__ = ["chrome_trace", "write_chrome_trace", "SCHEMA_VERSION"]
+
+#: Bumped when the exported structure changes; stored under ``otherData``.
+SCHEMA_VERSION = 1
+
+
+def _span_events(tracer: Tracer, pid: int) -> list[dict[str, Any]]:
+    events: list[dict[str, Any]] = []
+    origin = tracer.origin_s
+    for rec, _ in tracer.iter_spans():
+        end = rec.end_s if rec.end_s else rec.start_s
+        events.append(
+            {
+                "name": rec.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": (rec.start_s - origin) * 1e6,
+                "dur": max(0.0, end - rec.start_s) * 1e6,
+                "pid": pid,
+                "tid": rec.tid,
+                "args": {k: _jsonable(v) for k, v in rec.attrs.items()},
+            }
+        )
+    return events
+
+
+def _metric_events(registry: MetricsRegistry, pid: int, ts_us: float) -> list[dict[str, Any]]:
+    events: list[dict[str, Any]] = []
+    for name in registry.names():
+        metric = registry.get(name)
+        series: dict[str, float] = {}
+        if isinstance(metric, (Counter, Gauge)):
+            for key, value in metric._items():
+                series[label_string(key) or "value"] = value
+        elif isinstance(metric, Histogram):
+            for key, summary in metric._items():
+                series[label_string(key) or "value"] = summary["sum"]
+        if series:
+            events.append(
+                {
+                    "name": name,
+                    "cat": "metric",
+                    "ph": "C",
+                    "ts": ts_us,
+                    "pid": pid,
+                    "args": series,
+                }
+            )
+    return events
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def chrome_trace(
+    tracer: Tracer | None = None, registry: MetricsRegistry | None = None
+) -> dict[str, Any]:
+    """Build the Chrome-trace JSON object for a tracer (+ optional metrics)."""
+    tracer = tracer if tracer is not None else get_tracer()
+    registry = registry if registry is not None else get_registry()
+    pid = os.getpid()
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": "repro (Im2col-Winograd)"},
+        }
+    ]
+    span_events = _span_events(tracer, pid)
+    events.extend(span_events)
+    end_ts = max((e["ts"] + e["dur"] for e in span_events), default=0.0)
+    events.extend(_metric_events(registry, pid, end_ts))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "schema_version": SCHEMA_VERSION,
+            "metrics": registry.as_dict(),
+        },
+    }
+
+
+def write_chrome_trace(
+    path: str | os.PathLike[str],
+    tracer: Tracer | None = None,
+    registry: MetricsRegistry | None = None,
+) -> str:
+    """Serialise :func:`chrome_trace` to ``path``; returns the path written."""
+    doc = chrome_trace(tracer, registry)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return str(path)

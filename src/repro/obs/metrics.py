@@ -1,0 +1,239 @@
+"""Process-wide metrics: named counters, gauges and histograms with labels.
+
+The registry holds the quantities the paper argues with: flops and gathered
+bytes (§6.1.1's Gflop/s numerator and the fused gather volume), tiles and
+segments (§5.5's boundary split), GEMM-tail columns, SMEM transaction phases
+(§5.2), modeled occupancy and predicted nanoseconds (Figures 8/9).
+
+Three instrument kinds, Prometheus-flavoured but dependency-free:
+
+* :class:`Counter` — monotonically increasing totals (``inc``),
+* :class:`Gauge` — last-write-wins values (``set``),
+* :class:`Histogram` — streaming count/sum/min/max summaries (``observe``).
+
+Each instrument keys its values by a **label set** (sorted kwarg items), so
+``counter("winograd.segments").inc(kernel="Gamma_8(6,3)")`` and the same
+counter with a different kernel aggregate separately while sharing one name.
+
+Like the tracer, collection is gated on :func:`repro.obs.tracer.enabled`;
+the module-level helpers (:func:`counter_add`, :func:`gauge_set`,
+:func:`observe`) are no-ops while disabled.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator
+
+from .tracer import enabled
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "counter_add",
+    "gauge_set",
+    "observe",
+    "metrics_json",
+]
+
+LabelKey = tuple[tuple[str, Any], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+def label_string(key: LabelKey) -> str:
+    """``k=v,k2=v2`` rendering used in exports; empty string for no labels."""
+    return ",".join(f"{k}={v}" for k, v in key)
+
+
+class _Metric:
+    """Shared naming/label plumbing for the three instrument kinds."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+
+    def _items(self) -> Iterator[tuple[LabelKey, Any]]:  # pragma: no cover
+        raise NotImplementedError
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able export: one entry per label set."""
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "values": [
+                {"labels": dict(key), "value": value} for key, value in self._items()
+            ],
+        }
+
+
+class Counter(_Metric):
+    """Monotonic total per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, value: float = 1.0, **labels: Any) -> None:
+        if value < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {value})")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + value
+
+    def value(self, **labels: Any) -> float:
+        """Value for one label set (0 if never incremented)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across all label sets."""
+        return sum(self._values.values())
+
+    def _items(self) -> Iterator[tuple[LabelKey, float]]:
+        yield from sorted(self._values.items())
+
+
+class Gauge(_Metric):
+    """Last-written value per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def value(self, **labels: Any) -> float | None:
+        return self._values.get(_label_key(labels))
+
+    def _items(self) -> Iterator[tuple[LabelKey, float]]:
+        yield from sorted(self._values.items())
+
+
+class Histogram(_Metric):
+    """Streaming summary (count/sum/min/max/mean) per label set."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[LabelKey, dict[str, float]] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        s = self._values.get(key)
+        if s is None:
+            self._values[key] = {"count": 1, "sum": value, "min": value, "max": value}
+        else:
+            s["count"] += 1
+            s["sum"] += value
+            s["min"] = min(s["min"], value)
+            s["max"] = max(s["max"], value)
+
+    def summary(self, **labels: Any) -> dict[str, float] | None:
+        s = self._values.get(_label_key(labels))
+        if s is None:
+            return None
+        return {**s, "mean": s["sum"] / s["count"]}
+
+    def _items(self) -> Iterator[tuple[LabelKey, dict[str, float]]]:
+        for key in sorted(self._values):
+            s = self._values[key]
+            yield key, {**s, "mean": s["sum"] / s["count"]}
+
+
+class MetricsRegistry:
+    """Get-or-create home for every named instrument in the process."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get(self, cls: type, name: str, help: str) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested {cls.kind}"  # type: ignore[attr-defined]
+            )
+        elif help and not metric.help:
+            metric.help = help
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get(Histogram, name, help)
+
+    def get(self, name: str) -> _Metric | None:
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    def as_dict(self) -> dict[str, Any]:
+        """All metrics as one JSON-able object keyed by metric name."""
+        return {name: self._metrics[name].as_dict() for name in self.names()}
+
+    def top_counters(self, k: int = 10) -> list[tuple[str, str, float]]:
+        """Largest counter values as ``(name, label_string, value)`` rows."""
+        rows = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                for key, value in metric._items():
+                    rows.append((name, label_string(key), value))
+        rows.sort(key=lambda r: -r[2])
+        return rows[:k]
+
+
+#: Process-wide registry used by the module-level helpers below.
+_GLOBAL = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _GLOBAL
+
+
+def counter_add(name: str, value: float = 1.0, **labels: Any) -> None:
+    """Increment a global counter; no-op while instrumentation is disabled."""
+    if enabled():
+        _GLOBAL.counter(name).inc(value, **labels)
+
+
+def gauge_set(name: str, value: float, **labels: Any) -> None:
+    """Set a global gauge; no-op while instrumentation is disabled."""
+    if enabled():
+        _GLOBAL.gauge(name).set(value, **labels)
+
+
+def observe(name: str, value: float, **labels: Any) -> None:
+    """Record a histogram sample; no-op while instrumentation is disabled."""
+    if enabled():
+        _GLOBAL.histogram(name).observe(value, **labels)
+
+
+def metrics_json(registry: MetricsRegistry | None = None, *, indent: int = 2) -> str:
+    """Serialise a registry (default: the global one) to a JSON string."""
+    reg = registry if registry is not None else _GLOBAL
+    return json.dumps(reg.as_dict(), indent=indent, sort_keys=True, default=str)

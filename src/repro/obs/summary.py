@@ -1,0 +1,73 @@
+"""Human-readable views of a recorded trace.
+
+Two renderers over the tracer's span forest:
+
+* :func:`render_tree` — the indented call tree with per-span wall time and
+  attributes, the "what just happened" view printed by examples and the
+  ``--trace-json`` benchmark hook;
+* :func:`aggregate` — per-name totals (count, cumulative, self time) used
+  by the :mod:`repro.obs.report` CLI's profile table.  "Self" time is the
+  span's duration minus its direct children, so a hierarchy like
+  conv2d -> segment -> transform sums to the root without double counting.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .tracer import SpanRecord, Tracer
+
+__all__ = ["render_tree", "aggregate", "format_duration"]
+
+
+def format_duration(seconds: float) -> str:
+    """Adaptive unit formatting: 1.23 s / 45.6 ms / 789 us."""
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.0f} us"
+
+
+def _attr_string(attrs: dict[str, Any], limit: int = 60) -> str:
+    if not attrs:
+        return ""
+    body = ", ".join(f"{k}={v}" for k, v in attrs.items())
+    if len(body) > limit:
+        body = body[: limit - 1] + "…"
+    return f" ({body})"
+
+
+def render_tree(tracer: Tracer, *, max_depth: int | None = None, attrs: bool = True) -> str:
+    """Indented text tree of every recorded span."""
+    lines: list[str] = []
+    for rec, depth in tracer.iter_spans():
+        if max_depth is not None and depth > max_depth:
+            continue
+        pad = "  " * depth
+        extra = _attr_string(rec.attrs) if attrs else ""
+        lines.append(f"{pad}{rec.name:<{max(1, 28 - len(pad))}} {format_duration(rec.duration_s)}{extra}")
+    return "\n".join(lines) if lines else "(no spans recorded)"
+
+
+def aggregate(tracer: Tracer) -> dict[str, dict[str, float]]:
+    """Per-span-name profile: calls, cumulative seconds, self seconds.
+
+    Cumulative time counts each span once even when nested under a span of
+    the same name (no double counting on recursive names).
+    """
+    out: dict[str, dict[str, float]] = {}
+
+    def visit(rec: SpanRecord, active: frozenset[str]) -> None:
+        row = out.setdefault(rec.name, {"count": 0.0, "total_s": 0.0, "self_s": 0.0})
+        row["count"] += 1
+        row["self_s"] += rec.self_s
+        if rec.name not in active:
+            row["total_s"] += rec.duration_s
+        child_active = active | {rec.name}
+        for child in rec.children:
+            visit(child, child_active)
+
+    for root in tracer.roots:
+        visit(root, frozenset())
+    return out

@@ -1,0 +1,215 @@
+"""Nestable wall-clock spans for the Im2col-Winograd pipeline.
+
+The tracer answers the questions the paper answers with nvprof/Nsight:
+where does a convolution spend its time (conv -> segments -> transform /
+accumulate stages), and what did the planner/model decide along the way
+(span *attributes*).  It is deliberately tiny:
+
+* ``span(name, **attrs)`` is the only instrumentation call sites need; it
+  nests via a per-thread stack and records ``time.perf_counter`` intervals.
+* Tracing is **off by default**.  When disabled, ``span()`` returns a shared
+  no-op context manager without touching the tracer — hot paths pay one
+  module-global check, which is what keeps the instrumented kernels within
+  the < 2% overhead budget.
+* The recorded tree exports to Chrome-trace JSON
+  (:mod:`repro.obs.chrometrace`) and to an indented text summary
+  (:mod:`repro.obs.summary`).
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    with obs.span("conv2d", ow=49, alpha=8):
+        ...
+    print(obs.get_tracer().summary())
+    obs.write_chrome_trace("trace.json")
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "span",
+    "enable",
+    "disable",
+    "enabled",
+    "capture",
+    "get_tracer",
+    "reset",
+]
+
+#: Module-level enable flag.  Read directly by the hot-path guard in
+#: :func:`span`; flipped only by :func:`enable` / :func:`disable`.
+_ENABLED = False
+
+
+def enable() -> None:
+    """Turn tracing and metrics collection on (process-wide)."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn tracing and metrics collection off (the default)."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def enabled() -> bool:
+    """Whether instrumentation is currently recording."""
+    return _ENABLED
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or in-flight) span.
+
+    Times are ``time.perf_counter`` seconds; the tracer's ``origin_s`` turns
+    them into trace-relative timestamps at export time.
+    """
+
+    name: str
+    start_s: float
+    end_s: float = 0.0
+    attrs: dict[str, Any] = field(default_factory=dict)
+    children: list["SpanRecord"] = field(default_factory=list)
+    tid: int = 0
+
+    @property
+    def duration_s(self) -> float:
+        return max(0.0, self.end_s - self.start_s)
+
+    @property
+    def self_s(self) -> float:
+        """Duration minus the time spent in direct children."""
+        return max(0.0, self.duration_s - sum(c.duration_s for c in self.children))
+
+    def set(self, **attrs: Any) -> "SpanRecord":
+        """Attach attributes after entry (e.g. results known only at exit)."""
+        self.attrs.update(attrs)
+        return self
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled.
+
+    A singleton: the disabled fast path allocates nothing and records
+    nothing.  ``set`` is accepted (and ignored) so call sites need no
+    enabled/disabled branches of their own.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Records a forest of :class:`SpanRecord` trees, one stack per thread."""
+
+    def __init__(self) -> None:
+        self.roots: list[SpanRecord] = []
+        self._stacks: dict[int, list[SpanRecord]] = {}
+        self._lock = threading.Lock()
+        self.origin_s = time.perf_counter()
+
+    def reset(self) -> None:
+        """Drop all recorded spans and restart the time origin."""
+        with self._lock:
+            self.roots.clear()
+            self._stacks.clear()
+            self.origin_s = time.perf_counter()
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[SpanRecord]:
+        """Record one nested span around the ``with`` body."""
+        tid = threading.get_ident()
+        rec = SpanRecord(name=name, start_s=time.perf_counter(), attrs=dict(attrs), tid=tid)
+        with self._lock:
+            stack = self._stacks.setdefault(tid, [])
+            (stack[-1].children if stack else self.roots).append(rec)
+            stack.append(rec)
+        try:
+            yield rec
+        finally:
+            rec.end_s = time.perf_counter()
+            with self._lock:
+                stack = self._stacks.get(tid, [])
+                if stack and stack[-1] is rec:
+                    stack.pop()
+
+    def iter_spans(self) -> Iterator[tuple[SpanRecord, int]]:
+        """All spans depth-first as ``(record, depth)``."""
+        stack = [(r, 0) for r in reversed(self.roots)]
+        while stack:
+            rec, depth = stack.pop()
+            yield rec, depth
+            stack.extend((c, depth + 1) for c in reversed(rec.children))
+
+    def span_count(self) -> int:
+        return sum(1 for _ in self.iter_spans())
+
+    def summary(self, **kw: Any) -> str:
+        """Human-readable indented tree (see :mod:`repro.obs.summary`)."""
+        from .summary import render_tree
+
+        return render_tree(self, **kw)
+
+
+#: Process-wide tracer used by :func:`span` and the convenience exporters.
+_GLOBAL = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer instance."""
+    return _GLOBAL
+
+
+def span(name: str, **attrs: Any):
+    """Record a span on the global tracer; no-op singleton when disabled."""
+    if not _ENABLED:
+        return NULL_SPAN
+    return _GLOBAL.span(name, **attrs)
+
+
+def reset() -> None:
+    """Clear the global tracer (the metrics registry has its own reset)."""
+    _GLOBAL.reset()
+
+
+@contextmanager
+def capture(fresh: bool = True) -> Iterator[Tracer]:
+    """Enable tracing for a scope; restores the previous flag on exit.
+
+    ``fresh`` resets the global tracer and metrics registry first, so the
+    scope observes only its own activity.
+    """
+    from .metrics import get_registry
+
+    prev = _ENABLED
+    if fresh:
+        _GLOBAL.reset()
+        get_registry().reset()
+    enable()
+    try:
+        yield _GLOBAL
+    finally:
+        if not prev:
+            disable()

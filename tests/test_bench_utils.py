@@ -88,6 +88,21 @@ class TestHarness:
         assert len(lines) == 4
         assert len(set(map(len, lines))) == 1  # all rows equal width
 
+    def test_table_empty_rows(self):
+        out = table(["a", "bb"], [])
+        lines = out.splitlines()
+        assert lines == ["a  bb", "-  --"]
+
+    def test_table_one_shot_iterable_rows(self):
+        out = table(["a", "b"], iter([[1, 2], [3, 4]]))
+        assert out.splitlines()[-1].split() == ["3", "4"]
+
+    def test_table_ragged_rows(self):
+        out = table(["a", "b"], [[1], [2, 3, 4]])
+        lines = out.splitlines()
+        assert len(set(map(len, lines))) == 1  # short rows pad, long ones fit
+        assert "4" in lines[-1]
+
     def test_series_line(self):
         out = series_line("x", [1, 2, 3])
         assert "[1 .. 3]" in out

@@ -26,4 +26,11 @@ def test_example_runs(path, capsys, monkeypatch):
 
 def test_all_examples_discovered():
     names = {p.stem for p in EXAMPLES}
-    assert {"quickstart", "multiscale_features", "train_cnn", "kernel_planning", "beyond_2d"} <= names
+    assert {
+        "quickstart",
+        "multiscale_features",
+        "train_cnn",
+        "kernel_planning",
+        "beyond_2d",
+        "profiling",
+    } <= names

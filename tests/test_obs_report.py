@@ -1,0 +1,121 @@
+"""Chrome-trace round-trip + ``python -m repro.obs.report`` CLI tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import conv2d_im2col_winograd, obs
+from repro.obs.chrometrace import SCHEMA_VERSION, chrome_trace
+from repro.obs.report import counter_rows, load_events, main, profile_events
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    obs.reset()
+    obs.get_registry().reset()
+    yield
+    obs.disable()
+    obs.reset()
+    obs.get_registry().reset()
+
+
+def _traced_conv():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((1, 5, 25, 8)).astype(np.float32)
+    w = rng.standard_normal((4, 3, 3, 8)).astype(np.float32)
+    with obs.capture() as tracer:
+        conv2d_im2col_winograd(x, w)
+    return tracer
+
+
+@pytest.mark.obs
+class TestChromeTraceSchema:
+    def test_document_shape(self):
+        tracer = _traced_conv()
+        doc = chrome_trace(tracer)
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert doc["otherData"]["schema_version"] == SCHEMA_VERSION
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"M", "X", "C"} <= phases
+
+    def test_span_events_complete_and_nested(self):
+        tracer = _traced_conv()
+        doc = chrome_trace(tracer)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert all(
+            {"name", "cat", "ts", "dur", "pid", "tid", "args"} <= set(e) for e in xs
+        )
+        conv = next(e for e in xs if e["name"] == "conv2d")
+        for e in xs:
+            if e["name"] == "segment":
+                # segments are contained in the conv2d interval
+                assert e["ts"] >= conv["ts"] - 1e-6
+                assert e["ts"] + e["dur"] <= conv["ts"] + conv["dur"] + 1e-6
+
+    def test_counter_events_carry_label_series(self):
+        tracer = _traced_conv()
+        doc = chrome_trace(tracer)
+        cs = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "C"}
+        assert "conv.flops" in cs
+        assert any(k.startswith("kernel=") for k in cs["winograd.tiles"]["args"])
+
+    def test_json_roundtrip_preserves_profile(self, tmp_path):
+        tracer = _traced_conv()
+        in_memory = chrome_trace(tracer)
+        path = tmp_path / "trace.json"
+        obs.write_chrome_trace(path, tracer)
+        events = load_events(str(path))
+        assert json.loads(json.dumps(in_memory))["traceEvents"] == events
+        prof = profile_events(events)
+        assert prof["conv2d"]["count"] == 1
+        # rebuilt hierarchy: conv2d's self time excludes its segments
+        assert prof["conv2d"]["self_us"] < prof["conv2d"]["total_us"]
+        assert prof["segment"]["count"] == len(tracer.roots[0].children)
+
+    def test_array_format_accepted(self, tmp_path):
+        path = tmp_path / "array.json"
+        path.write_text(json.dumps([
+            {"name": "a", "ph": "X", "ts": 0, "dur": 10, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "X", "ts": 2, "dur": 3, "pid": 1, "tid": 1},
+        ]))
+        prof = profile_events(load_events(str(path)))
+        assert prof["a"]["self_us"] == 7.0 and prof["b"]["total_us"] == 3.0
+
+    def test_counter_rows_latest_ts_wins(self):
+        events = [
+            {"name": "c", "ph": "C", "ts": 0, "args": {"value": 1}},
+            {"name": "c", "ph": "C", "ts": 5, "args": {"value": 9}},
+        ]
+        assert counter_rows(events) == [("c", "value", 9.0)]
+
+
+@pytest.mark.obs
+class TestReportCli:
+    def test_cli_prints_profile_and_counters(self, tmp_path, capsys):
+        tracer = _traced_conv()
+        path = tmp_path / "trace.json"
+        obs.write_chrome_trace(path, tracer)
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Trace profile" in out and "conv2d" in out
+        assert "conv.flops" in out and "self %" in out
+
+    def test_cli_sort_and_top_flags(self, tmp_path, capsys):
+        tracer = _traced_conv()
+        path = tmp_path / "trace.json"
+        obs.write_chrome_trace(path, tracer)
+        assert main([str(path), "--sort", "cum", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Top 2 counters" in out
+
+    def test_cli_missing_file_is_error(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_cli_rejects_non_trace_json(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('"just a string"')
+        assert main([str(path)]) == 2
+        assert "not a Chrome trace" in capsys.readouterr().err
