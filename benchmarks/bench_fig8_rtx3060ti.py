@@ -86,6 +86,34 @@ def test_fig8_panel(benchmark, artifact, panel):
     artifact(f"fig8_{panel.replace('(', '_').replace(',', '_').replace(')', '')}", text)
 
 
+def test_fig8_baseline_store():
+    """Persist every Figure 8 series point through the perf-baseline store.
+
+    Writes ``benchmarks/out/BENCH_fig8.json`` (diffable across sessions with
+    ``python -m repro.bench.baseline compare``) and checks the snapshot
+    round-trips: a self-compare must report zero regressions.
+    """
+    import pathlib
+
+    from repro.bench.baseline import (
+        compare_metrics,
+        load_baseline,
+        suite_metrics,
+        write_baseline,
+    )
+
+    metrics = suite_metrics("fig8")
+    assert len(metrics) == 2 * sum(len(p[2]) for p in FIG8_PANELS.values())
+    path = write_baseline(
+        pathlib.Path(__file__).parent / "out" / "BENCH_fig8.json",
+        metrics,
+        tag="fig8",
+        suite="fig8",
+    )
+    rows, regressions = compare_metrics(load_baseline(path)["metrics"], metrics)
+    assert regressions == 0 and len(rows) == len(metrics)
+
+
 if __name__ == "__main__":
     for panel in FIG8_PANELS:
         print(render_panel(panel))

@@ -19,6 +19,29 @@ def test_fig9_panel(benchmark, artifact, panel):
     artifact(f"fig9_{panel.replace('(', '_').replace(',', '_').replace(')', '')}", text)
 
 
+def test_fig9_baseline_store():
+    """Same round-trip as Figure 8's, for the RTX 4090 suite."""
+    import pathlib
+
+    from repro.bench.baseline import (
+        compare_metrics,
+        load_baseline,
+        suite_metrics,
+        write_baseline,
+    )
+
+    metrics = suite_metrics("fig9")
+    assert len(metrics) == 2 * sum(len(p[2]) for p in FIG9_PANELS.values())
+    path = write_baseline(
+        pathlib.Path(__file__).parent / "out" / "BENCH_fig9.json",
+        metrics,
+        tag="fig9",
+        suite="fig9",
+    )
+    rows, regressions = compare_metrics(load_baseline(path)["metrics"], metrics)
+    assert regressions == 0 and len(rows) == len(metrics)
+
+
 if __name__ == "__main__":
     for panel in FIG9_PANELS:
         print(render_panel(panel, RTX4090, FIG9_PANELS, "Figure 9"))

@@ -11,6 +11,7 @@ guards themselves.)
 
 from __future__ import annotations
 
+import pathlib
 import time
 
 import numpy as np
@@ -58,6 +59,24 @@ def test_obs_overhead(artifact):
         f"  enabled/disabled ratio: {enabled_s / disabled_s:.3f}x",
     ]
     artifact("obs_overhead", "\n".join(lines))
+
+    # Persist the numbers through the perf-baseline store so successive runs
+    # can be diffed with `python -m repro.bench.baseline compare --against
+    # benchmarks/out/BENCH_obs_overhead.json --candidate <new capture>`.
+    from repro.bench.baseline import write_baseline
+
+    out_dir = pathlib.Path(__file__).parent / "out"
+    write_baseline(
+        out_dir / "BENCH_obs_overhead.json",
+        {
+            "obs_overhead/disabled.us_per_call": disabled_s / CALLS * 1e6,
+            "obs_overhead/enabled.us_per_call": enabled_s / CALLS * 1e6,
+            "obs_overhead/enabled_disabled.ratio": enabled_s / disabled_s,
+            "obs_overhead/spans_per_call.ratio": spans / CALLS,
+        },
+        tag="obs_overhead",
+        suite="obs_overhead",
+    )
 
     # The budget is on the *disabled* path; enabled tracing may legitimately
     # cost more (it allocates span records).  Guard against gross regressions

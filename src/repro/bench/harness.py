@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["banner", "table", "series_line", "fmt_ofm", "speedup_band"]
+__all__ = ["banner", "table", "series_line", "fmt_ofm", "speedup_band", "fmt_delta"]
 
 _BLOCKS = "▁▂▃▄▅▆▇█"
 
@@ -70,3 +70,8 @@ def fmt_ofm(shape) -> str:
 def speedup_band(ratios: Sequence[float]) -> str:
     """``min-max x`` formatting used throughout Table 2."""
     return f"{min(ratios):.3f}-{max(ratios):.3f}x"
+
+
+def fmt_delta(delta: float, relative: bool = True) -> str:
+    """Signed delta for baseline-compare tables: ``+1.23%`` or ``+0.5``."""
+    return f"{delta:+.2%}" if relative else f"{delta:+.6g}"

@@ -112,11 +112,40 @@ def render_ablations() -> str:
     return "\n".join(chunks)
 
 
+def render_rooflines() -> str:
+    """§5.6 roofline of every registered kernel on both paper GPUs."""
+    from ..core.kernels import registered_kernels
+    from ..gpusim import calibration as cal
+    from ..obs.rooflineview import attainable_gflops, render_roofline, roofline_point
+
+    chunks = [banner("Rooflines — §5.6 kernel intensities on both devices")]
+    for device in (RTX3060TI, RTX4090):
+        points, seen = [], set()
+        for kid in registered_kernels():
+            if kid.name in seen:
+                continue
+            seen.add(kid.name)
+            spec = kid.spec
+            points.append(
+                roofline_point(
+                    device,
+                    spec.intensity,
+                    cal.ARCH_EFF_GAMMA * attainable_gflops(device, spec.intensity),
+                    label=kid.name,
+                )
+            )
+        points.sort(key=lambda p: p.intensity)
+        chunks.append(render_roofline(device, points))
+        chunks.append("")
+    return "\n".join(chunks)
+
+
 ARTIFACTS = {
     "fig8": lambda: render_figure_panels(RTX3060TI, FIG8_PANELS, "Figure 8"),
     "fig9": lambda: render_figure_panels(RTX4090, FIG9_PANELS, "Figure 9"),
     "table2": render_table2,
     "ablations": render_ablations,
+    "roofline": render_rooflines,
 }
 
 
@@ -125,7 +154,9 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.bench.report",
         description="Regenerate the paper's model-backed artifacts.",
     )
-    parser.add_argument("artifacts", nargs="*", help="fig8 fig9 table2 ablations | all")
+    parser.add_argument(
+        "artifacts", nargs="*", help="fig8 fig9 table2 ablations roofline | all"
+    )
     parser.add_argument("--list", action="store_true", help="list available artifacts")
     args = parser.parse_args(argv)
     if args.list or not args.artifacts:

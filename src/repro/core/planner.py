@@ -52,6 +52,11 @@ class ConvPlan:
         covered = sum(s.width for s in self.segments if not s.is_gemm)
         return covered / self.shape.ow
 
+    @property
+    def gemm_tail_columns(self) -> int:
+        """Output columns mopped up by the §5.5 GEMM tail segment."""
+        return sum(s.width for s in self.segments if s.is_gemm)
+
 
 def plan_convolution(
     shape: ConvShape,
@@ -87,6 +92,8 @@ def plan_convolution(
             winograd_fraction=round(plan.winograd_fraction, 4),
         )
     counter_add("plan.decisions", algorithm=plan.algorithm)
+    if plan.gemm_tail_columns:
+        counter_add("plan.gemm_tail_columns", plan.gemm_tail_columns, fw=shape.fw)
     return plan
 
 

@@ -37,6 +37,41 @@ class GridPlan:
     waves: int
     tail_efficiency: float
 
+    @property
+    def wave_slots(self) -> int:
+        """Concurrent block slots per wave (``SMs * blocks_per_SM``).
+
+        Recovered exactly from the stored quantities: ``tail_efficiency``
+        is ``blocks / (waves * slots)`` by construction.
+        """
+        return round(self.blocks / (self.waves * self.tail_efficiency))
+
+    @property
+    def tail_blocks(self) -> int:
+        """Blocks in the final, partial wave (0 when the grid fills it)."""
+        tail = self.blocks - (self.waves - 1) * self.wave_slots
+        return 0 if tail == self.wave_slots else tail
+
+    @property
+    def tail_loss(self) -> float:
+        """Throughput fraction lost to wave quantisation (``1 - tail_eff``)."""
+        return 1.0 - self.tail_efficiency
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-able view for profiler/export consumers."""
+        return {
+            "grid_n": self.grid_n,
+            "grid_m": self.grid_m,
+            "blocks": self.blocks,
+            "iterations": self.iterations,
+            "waves": self.waves,
+            "wave_slots": self.wave_slots,
+            "tail_blocks": self.tail_blocks,
+            "tail_efficiency": self.tail_efficiency,
+            "tail_loss": self.tail_loss,
+            "occupancy": self.occupancy.as_dict(),
+        }
+
 
 def iterations_per_block(shape: ConvShape, spec: VariantSpec) -> int:
     """``FH * ceil(IC / BK)`` main-loop iterations (§5.1)."""

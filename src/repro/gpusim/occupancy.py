@@ -24,7 +24,9 @@ class Occupancy:
     """Occupancy of one kernel configuration on one device.
 
     ``limiter`` names the binding resource ("smem", "registers", "threads"
-    or "blocks").
+    or "blocks"); ``limits`` carries the per-resource block caps behind that
+    verdict (every entry >= ``blocks_per_sm``), which is what an
+    Nsight-style occupancy table displays.
     """
 
     blocks_per_sm: int
@@ -32,10 +34,22 @@ class Occupancy:
     active_warps: int
     occupancy: float
     limiter: str
+    limits: tuple[tuple[str, int], ...] = ()
 
     @property
     def is_resident(self) -> bool:
         return self.blocks_per_sm >= 1
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-able view for profiler/export consumers."""
+        return {
+            "blocks_per_sm": self.blocks_per_sm,
+            "active_threads": self.active_threads,
+            "active_warps": self.active_warps,
+            "occupancy": self.occupancy,
+            "limiter": self.limiter,
+            "limits": dict(self.limits),
+        }
 
 
 def occupancy_for(
@@ -68,7 +82,16 @@ def occupancy_for(
         "threads": device.max_threads_per_sm // threads_per_block,
         "blocks": device.max_blocks_per_sm,
     }
-    limiter = min(limits, key=limits.get)  # type: ignore[arg-type]
+    # A resource the kernel does not consume (0 B SMEM, 0 registers) has its
+    # cap clamped to the block-slot limit above; it must not be *named* the
+    # limiter when it ties with a real cap.
+    contenders = {
+        k: v
+        for k, v in limits.items()
+        if not (k == "smem" and smem_per_block <= 0)
+        and not (k == "registers" and regs_per_thread <= 0)
+    }
+    limiter = min(contenders, key=contenders.get)  # type: ignore[arg-type]
     blocks = limits[limiter]
     if blocks < 1:
         raise ValueError(
@@ -83,6 +106,7 @@ def occupancy_for(
         active_warps=warps,
         occupancy=active_threads / device.max_threads_per_sm,
         limiter=limiter,
+        limits=tuple(sorted(limits.items())),
     )
 
 

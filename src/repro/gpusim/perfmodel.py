@@ -89,6 +89,25 @@ class PerfEstimate:
         main = max(self.segments, key=lambda s: s.time_ms)
         return "compute" if main.compute_time_ms >= main.mem_time_ms else "memory"
 
+    @property
+    def gemm_tail_fraction(self) -> float:
+        """Fraction of output columns served by the §5.5 GEMM tail."""
+        total = sum(s.width for s in self.segments)
+        if not total:
+            return 0.0
+        return sum(s.width for s in self.segments if s.name == "GEMM") / total
+
+    @property
+    def gemm_tail_time_fraction(self) -> float:
+        """Fraction of total modeled time spent in the GEMM tail.
+
+        Launch overheads make this exceed the column fraction for narrow
+        tails — exactly the §6.1.2 dip the profiler should surface.
+        """
+        if self.time_ms <= 0.0:
+            return 0.0
+        return sum(s.time_ms for s in self.segments if s.name == "GEMM") / self.time_ms
+
 
 def _transform_ratio(spec: VariantSpec, op_factor: float) -> float:
     """Transform ops per outer-product op for one block iteration.

@@ -28,6 +28,7 @@ import numpy as np
 
 __all__ = [
     "conflict_degree",
+    "conflict_histogram",
     "vectorized_conflict_degree",
     "SmemArray",
     "BANKS",
@@ -45,13 +46,21 @@ def conflict_degree(word_addresses: Iterable[int], banks: int = BANKS) -> int:
     duplicates are collapsed before counting (matching hardware multicast).
     Degree 1 means conflict-free.
     """
+    counts = conflict_histogram(word_addresses, banks)
+    return max(1, int(counts.max()))
+
+
+def conflict_histogram(word_addresses: Iterable[int], banks: int = BANKS) -> np.ndarray:
+    """Per-bank access multiplicity of one warp's word addresses.
+
+    The profiler's "bank utilisation" view: ``max()`` of the returned array
+    is :func:`conflict_degree`; the number of nonzero entries is how many of
+    the 32 banks the access touches (broadcast duplicates collapsed first).
+    """
     addrs = np.unique(np.fromiter(word_addresses, dtype=np.int64))
-    if addrs.size == 0:
-        return 1
-    if np.any(addrs < 0):
+    if addrs.size and np.any(addrs < 0):
         raise ValueError("negative SMEM word address")
-    counts = np.bincount(addrs % banks, minlength=banks)
-    return int(counts.max())
+    return np.bincount(addrs % banks, minlength=banks)
 
 
 def vectorized_conflict_degree(

@@ -56,6 +56,33 @@ class TimelineResult:
     utilisation: float
     exposed_latency: float
 
+    def phase_fractions(self) -> dict[str, float]:
+        """Issued-phase shares of one steady-state iteration.
+
+        ``outer_product`` + ``exposed_stall`` sum to 1 of the critical path;
+        ``tile_load`` and ``transform`` report how much of that stall budget
+        each overlapped phase *demands* (they can exceed the stall when the
+        buffering scheme hides them, which is the §5.1 point).
+        """
+        per_iter = self.cycles_per_iteration or 1.0
+        return {
+            "outer_product": self.compute_cycles / per_iter,
+            "exposed_stall": self.exposed_latency / per_iter,
+            "tile_load": self.load_cycles / per_iter,
+            "transform": self.transform_cycles / per_iter,
+        }
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-able view for profiler/export consumers."""
+        return {
+            "cycles_per_iteration": self.cycles_per_iteration,
+            "compute_cycles": self.compute_cycles,
+            "load_cycles": self.load_cycles,
+            "transform_cycles": self.transform_cycles,
+            "utilisation": self.utilisation,
+            "exposed_latency": self.exposed_latency,
+        }
+
 
 def _iteration_costs(spec: VariantSpec, resident_blocks: int) -> tuple[float, float, float]:
     """(compute, load, transform) cycles for one iteration of one block,

@@ -21,9 +21,12 @@ ablation verifies degree-1 against a naive linear arrangement.
 
 from __future__ import annotations
 
+from typing import Callable
+
 __all__ = [
     "z_lane_arrangement",
     "linear_lane_arrangement",
+    "lane_arrangements",
     "thread_store_indices_gs",
     "thread_store_indices_ds",
     "swizzle_xi",
@@ -51,6 +54,16 @@ def linear_lane_arrangement(lane: int) -> tuple[int, int]:
     if not 0 <= lane < 32:
         raise ValueError(f"lane must be in [0, 32), got {lane}")
     return 8 * (lane // 4), 8 * (lane % 4)
+
+
+def lane_arrangements() -> dict[str, Callable[[int], tuple[int, int]]]:
+    """Named outer-product lane arrangements, paper's choice first.
+
+    Lets ablation/profiling code enumerate "Z" (Figure 4, conflict-free)
+    against "linear" (the naive row-major it replaces) without hard-coding
+    the function pair at every call site.
+    """
+    return {"z": z_lane_arrangement, "linear": linear_lane_arrangement}
 
 
 def thread_store_indices_gs(tx: int, ty: int, bn: int) -> tuple[int, int]:

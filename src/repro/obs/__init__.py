@@ -29,7 +29,14 @@ or, scoped (resets the tracer + registry, restores the flag)::
     print(tracer.summary())
 
 The CLI ``python -m repro.obs.report trace.json`` prints a self/cumulative
-profile table and the top counters of any recorded trace.
+profile table and the top counters of any recorded trace;
+``python -m repro.obs.kernelprof`` assembles an Nsight-style per-launch
+hardware-counter report (occupancy limiter, SMEM bank-conflict degree per
+transform stage, waves/tail, §5.6 roofline placement, GEMM-tail fraction)
+for any planned convolution, and ``python -m repro.obs.rooflineview`` draws
+the device rooflines.  Both live behind a lazy attribute (``obs.profile_conv``
+/ ``obs.roofline_point``) because they sit *above* the gpusim stack, which
+itself imports this package.
 """
 
 from .chrometrace import chrome_trace, write_chrome_trace
@@ -86,4 +93,21 @@ __all__ = [
     "render_tree",
     "aggregate",
     "format_duration",
+    # profiler (lazy: kernelprof/rooflineview import gpusim, which imports us)
+    "profile_conv",
+    "roofline_point",
 ]
+
+_LAZY = {
+    "profile_conv": ("repro.obs.kernelprof", "profile_conv"),
+    "roofline_point": ("repro.obs.rooflineview", "roofline_point"),
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module, attr = _LAZY[name]
+        return getattr(importlib.import_module(module), attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -132,13 +132,23 @@ def render_report(
     chunks.append(table(["span", "calls", "cumulative", "self", "self %"], rows))
     counters = counter_rows(events, top=top)
     chunks.append("")
-    chunks.append(banner(f"Top {len(counters)} counters"))
-    chunks.append(
-        table(
-            ["metric", "labels", "value"],
-            [[n, s or "-", f"{v:,.0f}"] for n, s, v in counters],
+    if counters:
+        chunks.append(banner(f"Top {len(counters)} counters"))
+        chunks.append(
+            table(
+                ["metric", "labels", "value"],
+                [[n, s or "-", f"{v:,.0f}"] for n, s, v in counters],
+            )
         )
-    )
+    else:
+        chunks.append(banner("Counters"))
+        chunks.append(
+            "(no counter events in this trace — spans were recorded but the "
+            "metrics registry was empty at export time; run with repro.obs "
+            "enabled around the instrumented code, or profile with "
+            "`python -m repro.obs.kernelprof --trace-json` to get kprof.* "
+            "counter tracks)"
+        )
     return "\n".join(chunks)
 
 

@@ -119,7 +119,7 @@ class TestHarness:
 
 class TestReportCLI:
     def test_artifact_registry(self):
-        assert set(ARTIFACTS) == {"fig8", "fig9", "table2", "ablations"}
+        assert set(ARTIFACTS) == {"fig8", "fig9", "table2", "ablations", "roofline"}
 
     def test_table2_renders(self):
         out = render_table2()

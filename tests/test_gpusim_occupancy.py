@@ -94,6 +94,73 @@ class TestOccupancy:
         assert occ.active_threads == occ.blocks_per_sm * 256
 
 
+class TestOccupancyEdgeCases:
+    def test_zero_register_kernel(self):
+        """regs_per_thread=0 means the register file never binds."""
+        occ = occupancy_for(
+            RTX3060TI, threads_per_block=128, smem_per_block=0, regs_per_thread=0
+        )
+        assert occ.limiter != "registers"
+        assert dict(occ.limits)["registers"] == RTX3060TI.max_blocks_per_sm
+        # With SMEM also free, the 1536-thread slot pool binds: 12 blocks.
+        assert occ.limiter == "threads"
+        assert occ.blocks_per_sm == 12
+        assert occ.occupancy == 1.0
+
+    def test_zero_smem_kernel_unbound_by_smem(self):
+        occ = occupancy_for(
+            RTX3060TI, threads_per_block=64, smem_per_block=0, regs_per_thread=32
+        )
+        assert dict(occ.limits)["smem"] == RTX3060TI.max_blocks_per_sm
+        assert occ.limiter != "smem"
+
+    def test_smem_exactly_at_per_sm_limit(self):
+        """A block using the whole SM's SMEM is resident exactly once."""
+        from dataclasses import replace
+
+        device = replace(
+            RTX3060TI, max_smem_per_block=RTX3060TI.smem_per_sm
+        )
+        occ = occupancy_for(
+            device,
+            threads_per_block=256,
+            smem_per_block=device.smem_per_sm,
+            regs_per_thread=32,
+        )
+        assert occ.blocks_per_sm == 1
+        assert occ.limiter == "smem"
+        # One byte less does not buy a second block (floor division).
+        occ2 = occupancy_for(
+            device,
+            threads_per_block=256,
+            smem_per_block=device.smem_per_sm - 1,
+            regs_per_thread=32,
+        )
+        assert occ2.blocks_per_sm == 1
+
+    def test_block_size_not_dividing_warp_slots(self):
+        """448 threads = 14 warps: 3 blocks leave 192 thread slots stranded."""
+        occ = occupancy_for(
+            RTX3060TI, threads_per_block=448, smem_per_block=0, regs_per_thread=32
+        )
+        assert occ.blocks_per_sm == 3
+        assert occ.active_threads == 1344
+        assert occ.active_warps == 42
+        assert occ.occupancy == pytest.approx(1344 / 1536)
+        assert occ.occupancy < 1.0  # quantisation loss, not a resource limit
+
+    def test_limits_table_consistent(self):
+        """Every per-resource cap >= resident blocks; the limiter's equals it."""
+        occ = occupancy_for(
+            RTX3060TI, threads_per_block=256, smem_per_block=12288, regs_per_thread=96
+        )
+        limits = dict(occ.limits)
+        assert set(limits) == {"smem", "registers", "threads", "blocks"}
+        assert all(cap >= occ.blocks_per_sm for cap in limits.values())
+        assert limits[occ.limiter] == occ.blocks_per_sm
+        assert occ.as_dict()["limits"] == limits
+
+
 class TestBlocking:
     def _shape(self, **kw):
         d = dict(batch=32, ih=64, iw=66, ic=128, oc=128, fh=3, fw=3, ph=1, pw=1)

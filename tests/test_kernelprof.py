@@ -1,0 +1,270 @@
+"""Tests for the per-launch kernel profiler (repro.obs.kernelprof).
+
+The profiler's contract is *exact* agreement with the gpusim modules it
+assembles: every number in the report must be recomputable from
+``perfmodel`` / ``smem`` / ``blocking`` / ``trace`` / ``timeline`` — the
+profiler adds presentation, not a second model.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.gpusim.blocking import grid_for
+from repro.gpusim.device import RTX3060TI, RTX4090
+from repro.gpusim.perfmodel import estimate_conv
+from repro.gpusim.timeline import simulate_block_timeline
+from repro.gpusim.trace import simulate_block_iteration, simulate_output_stage
+from repro.nhwc.tensor import ConvShape
+from repro.obs.kernelprof import (
+    main,
+    parse_kernel_token,
+    parse_ofm_token,
+    profile_conv,
+)
+from repro.obs.rooflineview import attainable_gflops, ridge_intensity
+
+#: The acceptance-criterion invocation: a Figure 9 shape of the 3x3 panel.
+FIG9_SHAPE = (128, 96, 96, 64)
+
+
+@pytest.fixture(scope="module")
+def profile():
+    shape = ConvShape.from_ofm(*FIG9_SHAPE, r=3)
+    return profile_conv(shape, RTX4090, alpha=8, variant="base")
+
+
+class TestConsistencyWithGpusim:
+    """Exact-value agreement with perfmodel / smem / blocking / timeline."""
+
+    def test_totals_match_perfmodel(self, profile):
+        shape = ConvShape.from_ofm(*FIG9_SHAPE, r=3)
+        est = estimate_conv(shape, RTX4090, alpha=8, variant="base")
+        assert profile.time_ms == est.time_ms
+        assert profile.gflops == est.gflops
+        assert profile.algorithm == est.algorithm
+        assert profile.gemm_tail_column_fraction == est.gemm_tail_fraction
+        assert profile.gemm_tail_time_fraction == est.gemm_tail_time_fraction
+        assert len(profile.launches) == len(est.segments)
+        for launch, seg in zip(profile.launches, est.segments):
+            assert launch.width == seg.width
+            assert launch.time_ms == seg.time_ms
+            assert launch.actual_gflop == seg.actual_gflop
+
+    def test_grid_and_occupancy_match_blocking(self, profile):
+        shape = ConvShape.from_ofm(*FIG9_SHAPE, r=3)
+        lead = profile.primary
+        spec = None
+        from repro.core.planner import plan_convolution
+
+        plan = plan_convolution(shape, alpha=8, variant="base")
+        spec = plan.primary.spec
+        grid = grid_for(shape, spec, RTX4090, ow_segment=lead.width)
+        assert lead.grid == grid.as_dict()
+        assert lead.grid["occupancy"]["limiter"] == grid.occupancy.limiter
+        assert lead.grid["waves"] == grid.waves
+        assert lead.grid["tail_loss"] == grid.tail_loss
+        assert lead.grid["wave_slots"] == grid.wave_slots
+
+    def test_smem_degrees_match_trace(self, profile):
+        from repro.core.planner import plan_convolution
+
+        shape = ConvShape.from_ofm(*FIG9_SHAPE, r=3)
+        spec = plan_convolution(shape, alpha=8, variant="base").primary.spec
+        lead = profile.primary
+        stages = {s.stage: s for s in lead.smem}
+        it_on = simulate_block_iteration(spec, swizzle_ds=True, z_lanes=True)
+        it_off = simulate_block_iteration(spec, swizzle_ds=False, z_lanes=False)
+        out_on = simulate_output_stage(spec, padded=True)
+        out_off = simulate_output_stage(spec, padded=False)
+        assert stages["main_loop"].phases == it_on.phases
+        assert stages["main_loop"].ideal_phases == it_on.ideal_phases
+        assert stages["main_loop"].naive_phases == it_off.phases
+        assert stages["main_loop"].degree == it_on.phases / it_on.ideal_phases
+        assert stages["output_staging"].phases == out_on.phases
+        assert stages["output_staging"].naive_phases == out_off.phases
+        # The paper's layouts pay off at both stages.
+        assert stages["main_loop"].mitigation_speedup > 1.0
+        assert stages["output_staging"].mitigation_speedup > 1.0
+
+    def test_pipeline_matches_timeline(self, profile):
+        from repro.core.planner import plan_convolution
+
+        shape = ConvShape.from_ofm(*FIG9_SHAPE, r=3)
+        spec = plan_convolution(shape, alpha=8, variant="base").primary.spec
+        lead = profile.primary
+        grid = lead.grid
+        pipe = simulate_block_timeline(
+            spec,
+            grid["iterations"],
+            resident_blocks=grid["occupancy"]["blocks_per_sm"],
+        )
+        expect = {**pipe.as_dict(), "double_buffered": spec.double_buffered}
+        assert lead.pipeline == expect
+
+    def test_roofline_point_consistent(self, profile):
+        lead = profile.primary
+        point = lead.roofline
+        assert point.intensity == lead.intensity
+        assert point.achieved_gflops == pytest.approx(
+            lead.actual_gflop / (lead.time_ms * 1e-3)
+        )
+        assert point.attainable_gflops == attainable_gflops(RTX4090, point.intensity)
+        assert point.ridge == ridge_intensity(RTX4090)
+        assert point.bound == (
+            "memory" if point.intensity < point.ridge else "compute"
+        )
+        assert point.pct_of_ceiling == pytest.approx(
+            point.achieved_gflops / point.attainable_gflops
+        )
+
+
+class TestGemmTail:
+    def test_tail_profiled_without_winograd_internals(self):
+        # OW=67: prime-ish width forces a §5.5 GEMM tail segment.
+        shape = ConvShape.from_ofm(32, 64, 67, 64, r=3)
+        profile = profile_conv(shape, RTX3060TI, alpha=8, variant="base")
+        tails = [l for l in profile.launches if l.kernel == "GEMM"]
+        assert tails, "expected a GEMM tail launch"
+        tail = tails[0]
+        assert tail.grid is None and tail.pipeline is None and tail.roofline is None
+        assert tail.smem == ()
+        assert profile.gemm_tail_column_fraction > 0
+        assert profile.gemm_tail_time_fraction > 0
+
+    def test_planner_refusal_raises(self):
+        shape = ConvShape(
+            batch=4, ih=16, iw=16, ic=32, oc=32, fh=3, fw=3, ph=1, pw=1, stride=2
+        )
+        with pytest.raises(ValueError, match="stride"):
+            profile_conv(shape, RTX3060TI)
+
+
+class TestMetricsAndRender:
+    def test_metrics_flat_dict(self, profile):
+        m = profile.metrics("p")
+        assert m["p/time_ms"] == profile.time_ms
+        assert m["p/gflops"] == profile.gflops
+        lead = profile.primary
+        assert m["p/occupancy.fraction"] == lead.grid["occupancy"]["occupancy"]
+        assert m["p/waves"] == lead.grid["waves"]
+        assert m["p/smem.main_loop.degree"] == pytest.approx(
+            {s.stage: s for s in lead.smem}["main_loop"].degree
+        )
+        assert m["p/roofline.pct_of_ceiling"] == lead.roofline.pct_of_ceiling
+        assert all(isinstance(v, float) for v in m.values())
+
+    def test_render_mentions_required_sections(self, profile):
+        text = profile.render()
+        occ = profile.primary.grid["occupancy"]
+        assert occ["limiter"] in text  # occupancy limiter printed
+        assert "bank conflicts" in text.lower()
+        assert "waves" in text.lower()
+        assert "Roofline" in text
+        assert "GEMM tail" in text
+        assert f"{occ['occupancy']:.1%}" in text
+
+    def test_as_dict_json_serialisable(self, profile):
+        doc = json.loads(json.dumps(profile.as_dict()))
+        assert doc["device"] == "RTX4090"
+        assert doc["launches"][0]["grid"]["occupancy"]["limiter"]
+
+
+class TestCounterEmission:
+    def test_kprof_counters_merge_into_chrome_trace(self, tmp_path):
+        shape = ConvShape.from_ofm(*FIG9_SHAPE, r=3)
+        with obs.capture() as tracer:
+            profile_conv(shape, RTX4090, alpha=8, variant="base")
+        path = obs.write_chrome_trace(tmp_path / "t.json", tracer)
+        with open(path) as fh:
+            events = json.load(fh)["traceEvents"]
+        names = {e["name"] for e in events if e.get("ph") == "C"}
+        assert {"kprof.occupancy", "kprof.bank_conflict_degree", "kprof.waves",
+                "kprof.tail_loss", "kprof.gemm_tail_fraction"} <= names
+        assert any(e.get("ph") == "X" and e["name"] == "kernelprof" for e in events)
+
+    def test_disabled_obs_emits_nothing(self):
+        obs.disable()
+        obs.get_registry().reset()
+        shape = ConvShape.from_ofm(32, 32, 32, 64, r=3)
+        profile_conv(shape, RTX3060TI, alpha=8, variant="base")
+        assert "kprof" not in obs.metrics_json()
+
+
+class TestCliParsing:
+    def test_parse_kernel_variants(self):
+        assert parse_kernel_token("g8n6r3") == (8, 3, None, None)
+        assert parse_kernel_token("g8r3") == (8, 3, None, None)
+        assert parse_kernel_token("gamma_16(8,9)") == (16, 9, None, None)
+        alpha, r, impl, note = parse_kernel_token("g16r9^c64")
+        assert (alpha, r, impl) == (16, 9, "c64") and note is None
+        # n alone fixes r via alpha = n + r - 1.
+        assert parse_kernel_token("g8n6") == (8, 3, None, None)
+
+    def test_parse_kernel_inconsistent_n_noted(self):
+        alpha, r, impl, note = parse_kernel_token("g8n2r3")
+        assert (alpha, r) == (8, 3)
+        assert note and "inconsistent" in note and "Gamma_8(6,3)" in note
+
+    def test_parse_kernel_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_kernel_token("conv3x3")
+        with pytest.raises(ValueError):
+            parse_kernel_token("g8")  # neither n nor r
+
+    def test_parse_ofm(self):
+        assert parse_ofm_token("128x96x96x64") == (128, 96, 96, 64)
+        assert parse_ofm_token("128,96,96,64") == (128, 96, 96, 64)
+        with pytest.raises(ValueError):
+            parse_ofm_token("128x96x96")
+
+    def test_cli_acceptance_invocation(self, capsys):
+        rc = main(
+            ["--device", "rtx4090", "--variant", "g8n2r3", "--shape", "128x96x96x64"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "inconsistent" in captured.err  # the g8n2r3 correction note
+        out = captured.out
+        # The report carries limiter, conflict degrees, waves and roofline —
+        # values identical to the library profile asserted exact above.
+        shape = ConvShape.from_ofm(128, 96, 96, 64, r=3)
+        profile = profile_conv(shape, RTX4090, alpha=8)
+        occ = profile.primary.grid["occupancy"]
+        assert occ["limiter"] in out
+        assert f"{occ['occupancy']:.1%}" in out
+        assert str(profile.primary.grid["waves"]) in out
+        assert "Roofline" in out and "flop/B" in out
+
+    def test_cli_json_mode(self, capsys):
+        rc = main(
+            ["--device", "rtx3060ti", "--variant", "g16r9^c64",
+             "--shape", "32x96x96x64", "--json"]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["device"] == "RTX3060Ti"
+        assert doc["launches"][0]["kernel"].startswith("Gamma^c64_16")
+
+    def test_cli_trace_json(self, tmp_path, capsys):
+        out = tmp_path / "kprof.json"
+        rc = main(
+            ["--device", "rtx4090", "--variant", "g8r3",
+             "--shape", "128x96x96x64", "--trace-json", str(out)]
+        )
+        assert rc == 0
+        events = json.loads(out.read_text())["traceEvents"]
+        assert any(
+            e.get("ph") == "C" and e["name"].startswith("kprof.") for e in events
+        )
+
+    def test_cli_bad_input_exit_2(self, capsys):
+        assert main(["--device", "rtx9999", "--variant", "g8r3",
+                     "--shape", "1x1x1x1"]) == 2
+        assert main(["--device", "rtx4090", "--variant", "nope",
+                     "--shape", "1x1x1x1"]) == 2
+        # planner refusal (width outside every kernel's envelope) also
+        # exits 2 with a message, not a traceback
+        assert main(["--device", "rtx4090", "--variant", "g16r16",
+                     "--shape", "8x16x16x64"]) == 2
