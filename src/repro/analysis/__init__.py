@@ -1,0 +1,73 @@
+"""Static analysis ("kernel sanitizer") for the Im2col-Winograd stack.
+
+Five execution-free passes prove, per :class:`repro.core.planner.ConvPlan`:
+
+1. **Plan contracts** — alpha arithmetic, stride/padding envelope, §5.5
+   segment cover and GEMM-tail structure (``PLAN*``).
+2. **Gather-index bounds** — every im2col offset stream lands inside the
+   padded input (``BND*``).
+3. **SMEM hazards & bank conflicts** — §5.1 pipeline phase intervals and
+   §5.2 layout replay (``SMEM*``).
+4. **Resource budgets** — SMEM/thread/register residency on a device
+   (``RES*``).
+5. **Transform conditioning** — §5.3 interpolation-point quality
+   (``COND*``).
+
+Run ``python -m repro.analysis`` to sweep every benchmark shape, or call
+:func:`analyze_plan` directly.
+"""
+
+from .bounds import OffsetStream, gather_bounds_findings, segment_offset_streams
+from .budget import OCCUPANCY_FLOOR, resource_budget_findings
+from .conditioning import (
+    CONDITION_TOLERANCE,
+    MAGNITUDE_ENVELOPE,
+    conditioning_findings,
+    vandermonde_condition,
+)
+from .contracts import plan_contract_findings
+from .engine import AnalysisConfig, analyze_plan
+from .findings import Finding, Report, Severity, apply_suppressions
+from .hazards import (
+    Hazard,
+    PhaseInterval,
+    StageDegrees,
+    bank_conflict_findings,
+    detect_hazards,
+    findings_from_degrees,
+    pipeline_hazard_findings,
+    pipeline_intervals,
+    stage_degrees,
+)
+from .rules import RULES, Rule, make_finding
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "Report",
+    "apply_suppressions",
+    "Rule",
+    "RULES",
+    "make_finding",
+    "plan_contract_findings",
+    "OffsetStream",
+    "segment_offset_streams",
+    "gather_bounds_findings",
+    "PhaseInterval",
+    "Hazard",
+    "pipeline_intervals",
+    "detect_hazards",
+    "pipeline_hazard_findings",
+    "StageDegrees",
+    "stage_degrees",
+    "bank_conflict_findings",
+    "findings_from_degrees",
+    "OCCUPANCY_FLOOR",
+    "resource_budget_findings",
+    "MAGNITUDE_ENVELOPE",
+    "CONDITION_TOLERANCE",
+    "vandermonde_condition",
+    "conditioning_findings",
+    "AnalysisConfig",
+    "analyze_plan",
+]

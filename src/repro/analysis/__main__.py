@@ -1,0 +1,216 @@
+"""``python -m repro.analysis`` — the kernel sanitizer CLI / CI gate.
+
+Default mode sweeps every benchmark shape in-tree (Figure 8 + Figure 9
+panels — which together are exactly the Table 2 workload — plus the Table 3
+accuracy shapes) across every Gamma variant registered for each
+``(alpha, r)``, and reports the aggregate findings.  Exit status is the
+gate: non-zero when any plan has an ERROR finding (or any WARNING too,
+under ``--strict``).
+
+Single-plan mode (``--shape`` + ``--kernel``) analyzes one configuration
+and prints its full report; tokens use the same grammar as
+``repro.obs.kernelprof`` (``g8n6r3``, ``g16r9^c64``, ``32x64x64x128``).
+
+``--json`` switches stdout to a machine-readable document; diagnostics go
+to stderr.  ``--suppress RULE`` (repeatable) drops a rule ID from the
+verdict while still counting it in the report's ``suppressed`` map.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Iterator
+
+from ..bench.shapes import FIG8_PANELS, FIG9_PANELS, TABLE3_SHAPES, panel_shapes
+from ..core.kernels import registered_kernels
+from ..core.planner import ConvPlan, plan_convolution
+from ..gpusim.device import DEVICES, DeviceSpec
+from ..nhwc.tensor import ConvShape
+from ..obs.kernelprof import parse_kernel_token, parse_ofm_token
+from .engine import analyze_plan
+from .findings import Report, Severity
+from .rules import RULES
+
+
+def _variants_for(alpha: int, r: int) -> list[str]:
+    """Variants registered for ``(alpha, r)``, base first."""
+    found = {
+        k.spec.variant
+        for k in registered_kernels(include_extended=True)
+        if k.spec.alpha == alpha and k.spec.r == r
+    }
+    order = {"base": 0, "ruse": 1, "c64": 2}
+    return sorted(found, key=lambda v: order.get(v, 99))
+
+
+def _sweep_plans(verbose_skip: bool) -> Iterator[tuple[str, ConvPlan]]:
+    """Every (label, plan) of the benchmark sweep: shapes x registered variants."""
+    sources = [("fig8", FIG8_PANELS), ("fig9", FIG9_PANELS), ("table3", TABLE3_SHAPES)]
+    for src_name, panels in sources:
+        for panel_name, panel in panels.items():
+            for shape, alpha in panel_shapes(panel):
+                for variant in _variants_for(alpha, shape.fw):
+                    if variant == "c64" and (shape.ic % 64 or shape.oc % 64):
+                        if verbose_skip:
+                            print(
+                                f"[analysis] skip c64 for {shape} (channels not x64)",
+                                file=sys.stderr,
+                            )
+                        continue
+                    plan = plan_convolution(shape, alpha=alpha, variant=variant)
+                    yield f"{src_name}/{panel_name}/{variant}", plan
+
+
+def _single_plan(shape_token: str, kernel_token: str | None) -> tuple[str, ConvPlan]:
+    n, oh, ow, oc = parse_ofm_token(shape_token)
+    if kernel_token:
+        alpha, r, impl, note = parse_kernel_token(kernel_token)
+        if note:
+            print(f"[analysis] {note}", file=sys.stderr)
+        shape = ConvShape.from_ofm(n, oh, ow, oc, r=r)
+        plan = plan_convolution(shape, alpha=alpha, variant=impl)
+    else:
+        shape = ConvShape.from_ofm(n, oh, ow, oc, r=3)
+        plan = plan_convolution(shape)
+    return f"shape/{shape_token}", plan
+
+
+def _render_summary(reports: list[tuple[str, Report]], strict: bool) -> str:
+    counts = {s.label: 0 for s in Severity}
+    rule_hist: dict[str, int] = {}
+    failing = 0
+    for _, rep in reports:
+        for sev, num in rep.counts().items():
+            counts[sev] += num
+        for f in rep.findings:
+            rule_hist[f.rule_id] = rule_hist.get(f.rule_id, 0) + 1
+        if not rep.ok(strict=strict):
+            failing += 1
+    lines = [
+        f"analyzed {len(reports)} plan(s): "
+        f"{counts['error']} error(s), {counts['warning']} warning(s), {counts['info']} note(s)"
+    ]
+    for rule_id in sorted(rule_hist):
+        rule = RULES[rule_id]
+        lines.append(
+            f"  {rule_id} x{rule_hist[rule_id]:<4d} [{rule.severity.label}] "
+            f"({rule.section}) {rule.title}"
+        )
+    verdict = "FAIL" if failing else "PASS"
+    mode = "strict" if strict else "errors-only"
+    lines.append(f"verdict: {verdict} ({mode}; {failing} failing plan(s))")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static sanitizer for Im2col-Winograd plans (no execution).",
+    )
+    parser.add_argument(
+        "--shape", help="single plan: ofm shape NxOHxOWxOC (else: full benchmark sweep)"
+    )
+    parser.add_argument(
+        "--kernel", help="single plan: kernel token like g8n6r3 or g16r9^c64"
+    )
+    parser.add_argument(
+        "--device",
+        default="RTX3060Ti",
+        choices=sorted(DEVICES),
+        help="device for the resource-budget pass",
+    )
+    parser.add_argument(
+        "--strict", action="store_true", help="fail on warnings, not just errors"
+    )
+    parser.add_argument(
+        "--suppress",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="suppress a rule ID (repeatable), e.g. --suppress SMEM006",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable report on stdout"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule registry and exit"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="also print clean plans / skips"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        if args.json:
+            doc = {
+                rid: {
+                    "title": r.title,
+                    "severity": r.severity.label,
+                    "section": r.section,
+                    "fix_hint": r.fix_hint,
+                }
+                for rid, r in sorted(RULES.items())
+            }
+            print(json.dumps(doc, indent=2))
+        else:
+            for rid, rule in sorted(RULES.items()):
+                print(f"{rid} [{rule.severity.label:7s}] ({rule.section}) {rule.title}")
+        return 0
+
+    unknown = sorted(set(args.suppress) - set(RULES))
+    if unknown:
+        parser.error(f"unknown rule ID(s) in --suppress: {', '.join(unknown)}")
+    if args.kernel and not args.shape:
+        parser.error("--kernel requires --shape")
+
+    device: DeviceSpec = DEVICES[args.device]
+    if args.shape:
+        plans = [_single_plan(args.shape, args.kernel)]
+    else:
+        plans = list(_sweep_plans(args.verbose))
+
+    reports: list[tuple[str, Report]] = []
+    for label, plan in plans:
+        rep = analyze_plan(plan, device, suppress=args.suppress)
+        reports.append((label, rep))
+
+    exit_code = 0 if all(r.ok(strict=args.strict) for _, r in reports) else 1
+
+    if args.json:
+        doc = {
+            "device": device.name,
+            "strict": args.strict,
+            "suppress": sorted(args.suppress),
+            "ok": exit_code == 0,
+            "plans": [
+                {"label": label, **rep.as_dict()}
+                for label, rep in reports
+                if rep.findings or rep.suppressed or args.shape
+            ],
+            "summary": {
+                "analyzed": len(reports),
+                "failing": sum(
+                    1 for _, r in reports if not r.ok(strict=args.strict)
+                ),
+                "rules": {
+                    rid: sum(1 for _, r in reports for f in r.findings if f.rule_id == rid)
+                    for rid in sorted({f.rule_id for _, r in reports for f in r.findings})
+                },
+            },
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return exit_code
+
+    for label, rep in reports:
+        interesting = not rep.ok(strict=args.strict) or (args.verbose and rep.findings)
+        if args.shape or interesting:
+            print(f"--- {label}")
+            print(rep.render())
+    print(_render_summary(reports, args.strict))
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,94 @@
+"""Pass 4 — resource budget assertions (§4.1 / §5.4).
+
+Checks one kernel's blocking against one device's hard limits, statically:
+
+* per-block SMEM against the device cap (RES001 — the §4.1 budget that
+  produces the paper's ``alpha <= 24`` bound);
+* threads per block against the 1024 hardware cap (RES002);
+* residency — at least one block must fit per SM once SMEM, registers,
+  thread slots and block slots are all accounted for (RES003, via the same
+  :func:`repro.gpusim.occupancy.occupancy_for` arithmetic the profiler uses);
+* an informational occupancy floor (RES004) flagging configurations below
+  25% — expected for the ruse variants, whose merged threads halve
+  parallelism (§5.4), hence INFO rather than a failure.
+"""
+
+from __future__ import annotations
+
+from ..core.variants import VariantSpec
+from ..gpusim.device import DeviceSpec
+from ..gpusim.occupancy import occupancy_for
+from .findings import Finding
+from .rules import make_finding
+
+__all__ = ["OCCUPANCY_FLOOR", "resource_budget_findings"]
+
+#: Below this achieved occupancy the pass emits the RES004 note.
+OCCUPANCY_FLOOR = 0.25
+
+
+def resource_budget_findings(spec: VariantSpec, device: DeviceSpec) -> list[Finding]:
+    """RES-rule findings of one kernel blocking on one device."""
+    findings: list[Finding] = []
+    loc = {"kernel": spec.name, "device": device.name}
+
+    if spec.smem_bytes > device.max_smem_per_block:
+        findings.append(
+            make_finding(
+                "RES001",
+                f"{spec.name}: {spec.smem_bytes} B SMEM per block exceeds the "
+                f"{device.name} cap of {device.max_smem_per_block} B",
+                location=loc,
+                context={
+                    "smem_bytes": spec.smem_bytes,
+                    "max_smem_per_block": device.max_smem_per_block,
+                },
+            )
+        )
+    if spec.threads > 1024:
+        findings.append(
+            make_finding(
+                "RES002",
+                f"{spec.name}: {spec.threads} threads per block exceeds the 1024 hardware cap",
+                location=loc,
+                context={"threads": spec.threads},
+            )
+        )
+    if findings:
+        # occupancy_for would raise for the same reasons; the explicit checks
+        # above carry the better diagnostics, so stop before double-reporting.
+        return findings
+
+    try:
+        occ = occupancy_for(
+            device,
+            threads_per_block=spec.threads,
+            smem_per_block=spec.smem_bytes,
+            regs_per_thread=spec.regs_per_thread,
+        )
+    except ValueError as exc:
+        findings.append(
+            make_finding(
+                "RES003",
+                f"{spec.name} cannot be resident on {device.name}: {exc}",
+                location=loc,
+                context={
+                    "threads": spec.threads,
+                    "smem_bytes": spec.smem_bytes,
+                    "regs_per_thread": spec.regs_per_thread,
+                },
+            )
+        )
+        return findings
+
+    if occ.occupancy < OCCUPANCY_FLOOR:
+        findings.append(
+            make_finding(
+                "RES004",
+                f"{spec.name} on {device.name}: occupancy {occ.occupancy:.0%} "
+                f"below the {OCCUPANCY_FLOOR:.0%} floor (limited by {occ.limiter})",
+                location=loc,
+                context=occ.as_dict(),
+            )
+        )
+    return findings

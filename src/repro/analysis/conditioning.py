@@ -1,0 +1,141 @@
+"""Pass 5 — transform conditioning lint (§5.3 / §6.2.2).
+
+The numerical quality of an ``F(n, r)`` scheme is decided before any kernel
+runs, by the interpolation points: the Toom-Cook system is a Vandermonde
+system, and its condition number governs how much the float transforms
+amplify rounding error.  §5.3's canonical stream
+``{0, 1, -1, 2, -2, 1/2, -1/2, ...}`` (small magnitudes, sign-balanced) is
+the paper's answer; this pass scores any candidate point set against it:
+
+* duplicate or non-finite points make the system singular — outright
+  ERROR (COND002), matching the exact solver's failure mode;
+* a candidate whose Vandermonde condition number is an order of magnitude
+  worse than the canonical set's gets a WARNING (COND001);
+* for the canonical schemes themselves, transform-matrix entries beyond the
+  half-precision-friendly magnitude envelope are noted (COND003, INFO) —
+  this is the §6.2.2 explanation of the alpha=16 accuracy cliff, and why
+  ``fused.py`` pins those schemes to float32.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from ..core.points import points_for
+from ..core.transforms import max_matrix_magnitude
+from .findings import Finding
+from .rules import make_finding
+
+__all__ = [
+    "MAGNITUDE_ENVELOPE",
+    "CONDITION_TOLERANCE",
+    "vandermonde_condition",
+    "conditioning_findings",
+]
+
+#: Largest transform-matrix entry magnitude tolerated without a COND003 note.
+#: float16 overflows at 65504; entries past ~1e4 also shred fp32 mantissas
+#: when mixed with unit-magnitude terms (§6.2.2's disparity argument).
+MAGNITUDE_ENVELOPE = 1.0e4
+
+#: COND001 fires when a candidate conditions this many times worse than the
+#: canonical point set of the same scheme.
+CONDITION_TOLERANCE = 10.0
+
+
+def vandermonde_condition(points: Sequence[Fraction | float]) -> float:
+    """2-norm condition number of the square Vandermonde of ``points``.
+
+    Returns ``inf`` for singular systems (duplicate points).
+    """
+    vals = [float(p) for p in points]
+    a = len(vals)
+    vand = np.array([[v**k for k in range(a)] for v in vals], dtype=np.float64)
+    try:
+        cond = float(np.linalg.cond(vand))
+    except np.linalg.LinAlgError:
+        return float("inf")
+    return cond
+
+
+@lru_cache(maxsize=None)
+def _canonical_condition(n: int, r: int) -> float:
+    return vandermonde_condition(tuple(points_for(n, r)))
+
+
+def conditioning_findings(
+    n: int,
+    r: int,
+    *,
+    points: Sequence[Fraction | float] | None = None,
+) -> list[Finding]:
+    """COND-rule findings of one ``F(n, r)`` scheme's interpolation points.
+
+    ``points`` overrides the finite point set (ablation / corruption hook);
+    the default is the canonical §5.3 stream, for which only the COND003
+    magnitude note can fire.
+    """
+    findings: list[Finding] = []
+    loc = {"scheme": f"F({n},{r})"}
+    canonical = points is None
+    pts = list(points_for(n, r)) if canonical else list(points)
+
+    dupes = sorted({str(p) for p in pts if pts.count(p) > 1})
+    bad = [p for p in pts if not np.isfinite(float(p))]
+    if dupes or bad:
+        detail = []
+        if dupes:
+            detail.append(f"duplicated: {', '.join(dupes)}")
+        if bad:
+            detail.append(f"non-finite: {', '.join(str(p) for p in bad)}")
+        findings.append(
+            make_finding(
+                "COND002",
+                f"F({n},{r}) point set is degenerate ({'; '.join(detail)}); "
+                f"the Toom-Cook system is singular",
+                location=loc,
+                context={"points": [str(p) for p in pts]},
+            )
+        )
+        return findings  # a singular system has no meaningful condition number
+
+    if not canonical:
+        cond = vandermonde_condition(tuple(pts))
+        ref = _canonical_condition(n, r)
+        if cond > CONDITION_TOLERANCE * ref:
+            findings.append(
+                make_finding(
+                    "COND001",
+                    f"F({n},{r}) candidate points condition at {cond:.3g}, "
+                    f"{cond / ref:.1f}x the canonical {ref:.3g} "
+                    f"(tolerance {CONDITION_TOLERANCE:.0f}x)",
+                    location=loc,
+                    context={
+                        "condition": cond,
+                        "canonical_condition": ref,
+                        "points": [str(p) for p in pts],
+                    },
+                )
+            )
+        return findings
+
+    magnitude = max_matrix_magnitude(n, r)
+    if magnitude > MAGNITUDE_ENVELOPE:
+        findings.append(
+            make_finding(
+                "COND003",
+                f"F({n},{r}) transform entries reach magnitude {magnitude:.3g} "
+                f"(> {MAGNITUDE_ENVELOPE:.0e}); scheme is float32-only",
+                location=loc,
+                context={
+                    "max_magnitude": magnitude,
+                    "envelope": MAGNITUDE_ENVELOPE,
+                    "condition": _canonical_condition(n, r),
+                },
+            )
+        )
+    return findings

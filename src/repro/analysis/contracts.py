@@ -1,0 +1,207 @@
+"""Pass 1 — plan contract checker (§4.1 / §5.5 / §5.6 / §5.7).
+
+Statically verifies the arithmetic and structural invariants a
+:class:`repro.core.planner.ConvPlan` must satisfy before it may execute:
+
+* every Winograd kernel's ``alpha = n + r - 1`` and ``r`` matching the
+  problem's filter width (PLAN001);
+* the NHWC stride/padding envelope of the fused kernels (PLAN002);
+* the §5.5 segment chain tiling ``[0, OW)`` exactly once — sorted,
+  disjoint, gap-free (PLAN003) — with every Winograd segment width
+  divisible by its kernel's coverage (PLAN004);
+* GEMM-tail structure: at most one, trailing, and genuinely irreducible —
+  i.e. narrower than the smallest registered coverage for the width, so the
+  tail really is the remainder the Gamma chain cannot absorb (PLAN005/006);
+* the §5.6 c64 channel contract (PLAN007).
+
+All checks are pure functions of the plan object; nothing is executed.
+"""
+
+from __future__ import annotations
+
+from ..core.boundary import Segment, segment_chain
+from ..core.planner import ConvPlan
+from .findings import Finding
+from .rules import make_finding
+
+__all__ = ["plan_contract_findings"]
+
+
+def plan_contract_findings(plan: ConvPlan) -> list[Finding]:
+    """All PLAN-rule findings of one plan (empty list = contract holds)."""
+    findings: list[Finding] = []
+    shape = plan.shape
+    if plan.algorithm != "im2col-winograd":
+        return findings  # GEMM plans carry no Winograd contract to check
+
+    # --- PLAN002: stride / padding envelope --------------------------------
+    if shape.stride != 1:
+        findings.append(
+            make_finding(
+                "PLAN002",
+                f"Winograd plan with stride {shape.stride}; the Gamma kernels are unit-stride only",
+                context={"stride": shape.stride},
+            )
+        )
+    if shape.pw >= shape.fw or shape.ph >= shape.fh:
+        findings.append(
+            make_finding(
+                "PLAN002",
+                f"padding (ph={shape.ph}, pw={shape.pw}) reaches the filter extent "
+                f"({shape.fh}x{shape.fw}); leading tiles would be all-padding",
+                context={"ph": shape.ph, "pw": shape.pw, "fh": shape.fh, "fw": shape.fw},
+            )
+        )
+
+    # --- PLAN001: alpha arithmetic per kernel ------------------------------
+    for i, seg in enumerate(plan.segments):
+        if seg.is_gemm:
+            continue
+        kernel = seg.kernel
+        spec = kernel.spec  # type: ignore[union-attr]
+        if spec.alpha != spec.n + spec.r - 1:
+            findings.append(
+                make_finding(
+                    "PLAN001",
+                    f"{spec.name}: alpha={spec.alpha} != n+r-1={spec.n + spec.r - 1}",
+                    location={"segment": i, "kernel": spec.name},
+                    context={"alpha": spec.alpha, "n": spec.n, "r": spec.r},
+                )
+            )
+        if spec.r != shape.fw:
+            findings.append(
+                make_finding(
+                    "PLAN001",
+                    f"{spec.name}: kernel filter width r={spec.r} != problem FW={shape.fw}",
+                    location={"segment": i, "kernel": spec.name},
+                    context={"r": spec.r, "fw": shape.fw},
+                )
+            )
+
+    # --- PLAN003: exact disjoint cover of [0, OW) --------------------------
+    findings.extend(_cover_findings(plan.segments, shape.ow))
+
+    # --- PLAN004: coverage divisibility ------------------------------------
+    for i, seg in enumerate(plan.segments):
+        if seg.is_gemm:
+            continue
+        cov = seg.kernel.spec.coverage  # type: ignore[union-attr]
+        if seg.width % cov != 0:
+            findings.append(
+                make_finding(
+                    "PLAN004",
+                    f"segment {i} ({seg.name}): width {seg.width} not divisible by coverage {cov}",
+                    location={"segment": i, "kernel": seg.name},
+                    context={"width": seg.width, "coverage": cov},
+                )
+            )
+
+    # --- PLAN005/PLAN006: GEMM tail structure ------------------------------
+    findings.extend(_tail_findings(plan))
+
+    # --- PLAN007: c64 channel contract -------------------------------------
+    for i, seg in enumerate(plan.segments):
+        if seg.is_gemm:
+            continue
+        spec = seg.kernel.spec  # type: ignore[union-attr]
+        if spec.variant == "c64" and (shape.ic % 64 != 0 or shape.oc % 64 != 0):
+            findings.append(
+                make_finding(
+                    "PLAN007",
+                    f"{spec.name} on IC={shape.ic}, OC={shape.oc}: c64 assumes both are multiples of 64",
+                    location={"segment": i, "kernel": spec.name},
+                    context={"ic": shape.ic, "oc": shape.oc},
+                )
+            )
+    return findings
+
+
+def _cover_findings(segments: tuple[Segment, ...], ow: int) -> list[Finding]:
+    """PLAN003: segments must tile [0, ow) exactly once, in order."""
+    findings: list[Finding] = []
+    if not segments:
+        return [
+            make_finding(
+                "PLAN003",
+                f"Winograd plan with no segments; OW={ow} is uncovered",
+                context={"ow": ow},
+            )
+        ]
+    pos = 0
+    for i, seg in enumerate(segments):
+        if seg.width < 1:
+            findings.append(
+                make_finding(
+                    "PLAN003",
+                    f"segment {i} ({seg.name}) has width {seg.width} < 1",
+                    location={"segment": i},
+                    context={"width": seg.width},
+                )
+            )
+            continue
+        if seg.start != pos:
+            kind = "overlaps the previous segment" if seg.start < pos else "leaves a gap"
+            findings.append(
+                make_finding(
+                    "PLAN003",
+                    f"segment {i} ({seg.name}) starts at {seg.start}, expected {pos}: {kind}",
+                    location={"segment": i},
+                    context={"start": seg.start, "expected": pos},
+                )
+            )
+        pos = max(pos, seg.start) + seg.width
+    if pos != ow:
+        kind = "past OW" if pos > ow else "short of OW"
+        findings.append(
+            make_finding(
+                "PLAN003",
+                f"segments cover [0, {pos}) which is {kind} = {ow}",
+                context={"covered": pos, "ow": ow},
+            )
+        )
+    return findings
+
+
+def _tail_findings(plan: ConvPlan) -> list[Finding]:
+    """PLAN005 (structure) and PLAN006 (reducibility) for GEMM segments."""
+    findings: list[Finding] = []
+    gemm = [(i, s) for i, s in enumerate(plan.segments) if s.is_gemm]
+    if not gemm:
+        return findings
+    if len(gemm) > 1:
+        findings.append(
+            make_finding(
+                "PLAN005",
+                f"{len(gemm)} GEMM segments; the §5.5 design allows exactly one tail",
+                context={"gemm_segments": [i for i, _ in gemm]},
+            )
+        )
+    last_index = len(plan.segments) - 1
+    for i, seg in gemm:
+        if i != last_index:
+            findings.append(
+                make_finding(
+                    "PLAN005",
+                    f"GEMM segment at position {i} is not the trailing segment",
+                    location={"segment": i},
+                    context={"position": i, "last": last_index},
+                )
+            )
+    # Reducibility: the tail must be narrower than the smallest coverage of
+    # the width's kernel chain, else a Gamma kernel could have absorbed it.
+    try:
+        min_cov = min(k.spec.coverage for k in segment_chain(plan.shape.fw))
+    except ValueError:
+        return findings  # no registered chain for this width; PLAN002 territory
+    for i, seg in gemm:
+        if seg.width >= min_cov:
+            findings.append(
+                make_finding(
+                    "PLAN006",
+                    f"GEMM tail width {seg.width} >= smallest chain coverage {min_cov}; "
+                    f"a Gamma kernel could absorb {seg.width - seg.width % min_cov} of its columns",
+                    location={"segment": i},
+                    context={"width": seg.width, "min_coverage": min_cov},
+                )
+            )
+    return findings

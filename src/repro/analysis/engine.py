@@ -1,0 +1,152 @@
+"""The sanitizer engine: run every static pass over one plan, one report.
+
+:func:`analyze_plan` is the single entry point the CLI, CI gate and tests
+use.  It fans one :class:`repro.core.planner.ConvPlan` out to the five
+passes —
+
+1. plan contracts (:mod:`.contracts`, PLAN rules),
+2. gather-index bounds (:mod:`.bounds`, BND rules),
+3. SMEM pipeline hazards + bank-conflict lint (:mod:`.hazards`, SMEM rules),
+4. resource budgets (:mod:`.budget`, RES rules),
+5. transform conditioning (:mod:`.conditioning`, COND rules)
+
+— deduplicates the per-kernel passes (a plan often runs the same kernel in
+several segments), applies per-rule suppression, and emits the
+``analysis.plans`` / ``analysis.findings.*`` observability counters so a
+sweep's rule mix is visible in the same metrics dump as everything else.
+
+:class:`AnalysisConfig` carries the corruption/ablation toggles through to
+the passes (drop a mitigation, force an overlapped schedule, substitute
+interpolation points) — the testability surface the acceptance criteria
+require, and the knobs ablation studies use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+from ..core.planner import ConvPlan
+from ..core.variants import VariantSpec
+from ..gpusim.device import RTX3060TI, DeviceSpec
+from ..obs import counter_add
+from .bounds import gather_bounds_findings
+from .budget import resource_budget_findings
+from .conditioning import conditioning_findings
+from .contracts import plan_contract_findings
+from .findings import Finding, Report, apply_suppressions
+from .hazards import bank_conflict_findings, pipeline_hazard_findings
+
+__all__ = ["AnalysisConfig", "analyze_plan"]
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Pass configuration and corruption/ablation hooks.
+
+    The defaults analyze the plan exactly as shipped.  Every field maps to
+    one pass's keyword of the same meaning; see the pass modules for the
+    semantics of each toggle.
+    """
+
+    # -- hazard pass (§5.1 pipeline model) --
+    iterations: int = 4
+    buffers: int | None = None
+    overlapped: bool | None = None
+    assume_sync: bool = True
+    # -- bank-conflict lint (§5.2 mitigations) --
+    swizzle_ds: bool = True
+    z_lanes: bool = True
+    padded_ys: bool = True
+    arrangement: Callable[[int], tuple[int, int]] | None = None
+    # -- conditioning pass (§5.3 points) --
+    points: tuple[Any, ...] | None = None
+    # -- spec substitution (resource-budget corruption): kernel name -> spec --
+    spec_overrides: Mapping[str, VariantSpec] = field(default_factory=dict)
+
+
+def _winograd_specs(plan: ConvPlan, config: AnalysisConfig) -> list[VariantSpec]:
+    """Distinct kernel specs of the plan, in segment order, overrides applied."""
+    specs: list[VariantSpec] = []
+    seen: set[str] = set()
+    for seg in plan.segments:
+        if seg.is_gemm:
+            continue
+        spec = seg.kernel.spec  # type: ignore[union-attr]
+        spec = config.spec_overrides.get(spec.name, spec)
+        if spec.name not in seen:
+            seen.add(spec.name)
+            specs.append(spec)
+    return specs
+
+
+def analyze_plan(
+    plan: ConvPlan,
+    device: DeviceSpec = RTX3060TI,
+    *,
+    config: AnalysisConfig | None = None,
+    suppress: Iterable[str] = (),
+) -> Report:
+    """Run all five static passes over ``plan`` and return one report.
+
+    Nothing is executed: every finding is a function of the plan object, the
+    device spec and the config.  ``suppress`` drops findings of the listed
+    rule IDs (recorded, not silently lost, in ``Report.suppressed``).
+    """
+    cfg = config if config is not None else AnalysisConfig()
+    findings: list[Finding] = []
+
+    # Pass 1 + 2: whole-plan contracts and gather bounds.
+    findings.extend(plan_contract_findings(plan))
+    findings.extend(gather_bounds_findings(plan))
+
+    # Pass 3 + 4: per distinct kernel spec.
+    specs = _winograd_specs(plan, cfg)
+    for spec in specs:
+        findings.extend(
+            pipeline_hazard_findings(
+                spec,
+                iterations=cfg.iterations,
+                buffers=cfg.buffers,
+                overlapped=cfg.overlapped,
+                assume_sync=cfg.assume_sync,
+            )
+        )
+        findings.extend(
+            bank_conflict_findings(
+                spec,
+                swizzle_ds=cfg.swizzle_ds,
+                z_lanes=cfg.z_lanes,
+                padded_ys=cfg.padded_ys,
+                arrangement=cfg.arrangement,
+            )
+        )
+        findings.extend(resource_budget_findings(spec, device))
+
+    # Pass 5: per distinct (n, r) scheme.
+    seen_nr: set[tuple[int, int]] = set()
+    for spec in specs:
+        nr = (spec.n, spec.r)
+        if nr in seen_nr:
+            continue
+        seen_nr.add(nr)
+        findings.extend(conditioning_findings(spec.n, spec.r, points=cfg.points))
+
+    kept, dropped = apply_suppressions(findings, suppress)
+    report = Report(
+        subject={
+            "shape": str(plan.shape),
+            "algorithm": plan.algorithm,
+            "kernels": [s.name for s in specs],
+            "device": device.name,
+        },
+        findings=kept,
+        suppressed=dropped,
+    )
+
+    counter_add("analysis.plans", algorithm=plan.algorithm)
+    for f in report.findings:
+        counter_add(
+            f"analysis.findings.{f.severity.label}", rule=f.rule_id
+        )
+    return report

@@ -1,0 +1,185 @@
+"""Typed findings and reports of the kernel sanitizer.
+
+A :class:`Finding` is one rule violation (or note) discovered by a static
+pass: the rule it violates, where it was found (kernel / segment / stage),
+a human-readable message and a machine-readable ``context`` dict.  Findings
+never carry execution state — every field is derivable from the plan alone,
+which is what makes the analyzer safe to run in CI before any simulation.
+
+A :class:`Report` aggregates the findings of one analysis run (typically one
+:class:`repro.core.planner.ConvPlan` on one device), supports per-rule
+suppression and renders to text or JSON.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+__all__ = ["Severity", "Finding", "Report"]
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; comparable (ERROR > WARNING > INFO)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One typed rule violation.
+
+    Attributes
+    ----------
+    rule_id:
+        Registry key into :data:`repro.analysis.rules.RULES`.
+    severity:
+        Effective severity (defaults to the rule's; passes may downgrade).
+    message:
+        One-line human-readable description of the specific violation.
+    section:
+        Paper section the violated invariant comes from (e.g. ``"§5.5"``).
+    fix_hint:
+        Actionable suggestion, from the rule registry.
+    location:
+        Where in the plan: kernel name, segment index, stage, ... (free-form
+        but stable keys: ``kernel``, ``segment``, ``stage``, ``device``).
+    context:
+        Machine-readable evidence (offsets, degrees, byte counts, ...).
+    """
+
+    rule_id: str
+    severity: Severity
+    message: str
+    section: str
+    fix_hint: str
+    location: dict[str, Any] = field(default_factory=dict)
+    context: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "rule_id": self.rule_id,
+            "severity": self.severity.label,
+            "message": self.message,
+            "section": self.section,
+            "fix_hint": self.fix_hint,
+            "location": dict(self.location),
+            "context": dict(self.context),
+        }
+
+    def render(self) -> str:
+        loc = ",".join(f"{k}={v}" for k, v in self.location.items())
+        where = f" [{loc}]" if loc else ""
+        return f"{self.severity.label.upper():7s} {self.rule_id} ({self.section}){where}: {self.message}"
+
+
+@dataclass(frozen=True)
+class Report:
+    """Findings of one analysis run, with suppression applied.
+
+    ``subject`` names what was analysed (shape/kernel/device); ``suppressed``
+    records which rule IDs were filtered and how many findings each dropped.
+    """
+
+    subject: dict[str, Any]
+    findings: tuple[Finding, ...]
+    suppressed: dict[str, int] = field(default_factory=dict)
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def by_severity(self, severity: Severity) -> list[Finding]:
+        return [f for f in self.findings if f.severity == severity]
+
+    @property
+    def errors(self) -> list[Finding]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def worst(self) -> Severity | None:
+        return max((f.severity for f in self.findings), default=None)
+
+    def ok(self, *, strict: bool = False) -> bool:
+        """No errors (``strict``: no warnings either; INFO never fails)."""
+        floor = Severity.WARNING if strict else Severity.ERROR
+        return all(f.severity < floor for f in self.findings)
+
+    def rule_ids(self) -> list[str]:
+        """Distinct rule IDs present, sorted."""
+        return sorted({f.rule_id for f in self.findings})
+
+    def counts(self) -> dict[str, int]:
+        """Finding count per severity label (all three keys always present)."""
+        out = {s.label: 0 for s in Severity}
+        for f in self.findings:
+            out[f.severity.label] += 1
+        return out
+
+    def merged_with(self, other: "Report") -> "Report":
+        """Concatenate two reports (sweep aggregation)."""
+        sup = dict(self.suppressed)
+        for rule, n in other.suppressed.items():
+            sup[rule] = sup.get(rule, 0) + n
+        return Report(
+            subject={"merged": True},
+            findings=self.findings + other.findings,
+            suppressed=sup,
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "subject": dict(self.subject),
+            "ok": self.ok(),
+            "ok_strict": self.ok(strict=True),
+            "counts": self.counts(),
+            "suppressed": dict(self.suppressed),
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True, default=str)
+
+    def render(self) -> str:
+        """Text report: subject line, findings, severity summary."""
+        subject = ", ".join(f"{k}={v}" for k, v in self.subject.items())
+        lines = [f"analysis: {subject or '(aggregate)'}"]
+        for f in sorted(self.findings, key=lambda f: (-f.severity, f.rule_id)):
+            lines.append("  " + f.render())
+        counts = self.counts()
+        lines.append(
+            "  -> {error} error(s), {warning} warning(s), {info} note(s)".format(**counts)
+        )
+        if self.suppressed:
+            sup = ", ".join(f"{k} x{v}" for k, v in sorted(self.suppressed.items()))
+            lines.append(f"  -> suppressed: {sup}")
+        return "\n".join(lines)
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], suppress: Iterable[str] = ()
+) -> tuple[tuple[Finding, ...], dict[str, int]]:
+    """Filter findings whose rule ID is suppressed; count what was dropped."""
+    suppress_set = set(suppress)
+    kept: list[Finding] = []
+    dropped: dict[str, int] = {}
+    for f in findings:
+        if f.rule_id in suppress_set:
+            dropped[f.rule_id] = dropped.get(f.rule_id, 0) + 1
+        else:
+            kept.append(f)
+    return tuple(kept), dropped

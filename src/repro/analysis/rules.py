@@ -1,0 +1,231 @@
+"""The sanitizer's rule registry: every invariant the analyzer enforces.
+
+Each rule is a named, paper-anchored invariant with a default severity and a
+fix hint.  The registry is the single source of truth for rule metadata —
+passes create findings *through* :func:`make_finding` so rule IDs, sections
+and hints can never drift from what the docs table says.
+
+Rule families
+-------------
+``PLAN``  §4/§5.5 plan contracts: alpha arithmetic, layout/stride envelope,
+          boundary-segment cover and GEMM-tail structure.
+``BND``   §4.1/§5.5 gather-index bounds: every im2col offset stream must
+          land inside the (implicitly padded) input.
+``SMEM``  §5.1 double-buffer phase hazards and §5.2 bank-conflict lint.
+``RES``   §4.1 resource budgets against :mod:`repro.gpusim.device` limits.
+``COND``  §5.3/§6.2.2 transform conditioning of the interpolation points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from .findings import Finding, Severity
+
+__all__ = ["Rule", "RULES", "make_finding"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered invariant: ID, default severity, paper anchor, hint."""
+
+    rule_id: str
+    title: str
+    severity: Severity
+    section: str
+    fix_hint: str
+
+
+_RULE_LIST = [
+    # --- plan contracts (§4.1 / §5.5 / §5.6 / §5.7) -----------------------
+    Rule(
+        "PLAN001",
+        "alpha arithmetic: alpha = n + r - 1 must hold for every kernel",
+        Severity.ERROR,
+        "§4.1",
+        "derive n from alpha and r (n = alpha - r + 1) instead of storing it",
+    ),
+    Rule(
+        "PLAN002",
+        "layout/stride contract: Winograd plans require unit stride and padding inside the filter envelope",
+        Severity.ERROR,
+        "§5.1/§5.7",
+        "route non-unit-stride or over-padded problems to the GEMM path",
+    ),
+    Rule(
+        "PLAN003",
+        "segment cover: width segments must tile [0, OW) exactly once, sorted and disjoint",
+        Severity.ERROR,
+        "§5.5",
+        "rebuild the segmentation with repro.core.boundary.plan_width_segments",
+    ),
+    Rule(
+        "PLAN004",
+        "segment divisibility: each Winograd segment width must be a multiple of its kernel's coverage",
+        Severity.ERROR,
+        "§5.5",
+        "shrink the segment to the largest covered prefix; hand the rest down the chain",
+    ),
+    Rule(
+        "PLAN005",
+        "GEMM tail structure: at most one GEMM segment, and it must terminate the list",
+        Severity.ERROR,
+        "§5.5",
+        "the GEMM kernel mops up only the final sliver; merge stray GEMM segments",
+    ),
+    Rule(
+        "PLAN006",
+        "GEMM tail reducible: tail at least as wide as a registered kernel's coverage",
+        Severity.WARNING,
+        "§5.5",
+        "a smaller-coverage Gamma kernel could absorb part of the tail; extend the chain",
+    ),
+    Rule(
+        "PLAN007",
+        "c64 channel contract: the c64 variant assumes IC and OC are multiples of 64",
+        Severity.WARNING,
+        "§5.6",
+        "use the base (or ruse) variant when channels are not multiples of 64",
+    ),
+    # --- gather-index bounds (ASan-style, §4.1 / §5.5) --------------------
+    Rule(
+        "BND001",
+        "gather underflow: an im2col offset reads before the padded input start",
+        Severity.ERROR,
+        "§4.1/§5.5",
+        "clamp the segment start / padding so offsets stay >= -(pad)",
+    ),
+    Rule(
+        "BND002",
+        "gather overflow: an im2col offset reads past the padded input end",
+        Severity.ERROR,
+        "§4.1/§5.5",
+        "shrink the segment or tile count so the last tile ends inside the padded input",
+    ),
+    Rule(
+        "BND003",
+        "GEMM-tail strip bounds: the tail's input strip escapes the padded input",
+        Severity.ERROR,
+        "§5.5",
+        "recompute the tail strip as [start-pw, start-pw+width+fw-1) and re-clip",
+    ),
+    # --- SMEM pipeline hazards and bank conflicts (§5.1 / §5.2) ------------
+    Rule(
+        "SMEM001",
+        "WAR hazard: a tile load overwrites an SMEM buffer a compute phase is still reading",
+        Severity.ERROR,
+        "§5.1",
+        "double-buffer the tile arrays (alpha in {4, 8}) or serialise load/compute with __syncthreads",
+    ),
+    Rule(
+        "SMEM002",
+        "RAW hazard: a compute phase reads an SMEM buffer before its load/transform completes",
+        Severity.ERROR,
+        "§5.1",
+        "insert the per-buffer-swap __syncthreads the double-buffer pipeline requires",
+    ),
+    Rule(
+        "SMEM003",
+        "outer-product load conflicts: Z-lane loads must be conflict-free (degree 1)",
+        Severity.ERROR,
+        "§5.2",
+        "restore the Figure 4 Z-shaped laneIdx arrangement for Gs/Ds loads",
+    ),
+    Rule(
+        "SMEM004",
+        "output-staging conflicts: padded Ys staging stores must be conflict-free (degree 1)",
+        Severity.ERROR,
+        "§5.2",
+        "restore the Ys last-dimension padding ([...][16+4] etc.)",
+    ),
+    Rule(
+        "SMEM005",
+        "store-mitigation regression: the mitigated store pattern conflicts more than the naive one",
+        Severity.WARNING,
+        "§5.2",
+        "the swizzle/padding parameters are wrong for this blocking; re-derive them",
+    ),
+    Rule(
+        "SMEM006",
+        "residual store conflicts: main-loop stores above degree 1 even with mitigations on",
+        Severity.INFO,
+        "§5.2",
+        "known residual of the column-store pattern; informational only",
+    ),
+    # --- resource budgets (§4.1) ------------------------------------------
+    Rule(
+        "RES001",
+        "SMEM budget: block shared memory exceeds the device per-block cap",
+        Severity.ERROR,
+        "§4.1",
+        "reduce alpha (the 49152 B cap is where alpha <= 24 comes from) or drop the double buffer",
+    ),
+    Rule(
+        "RES002",
+        "thread budget: threads per block exceed the 1024 hardware cap",
+        Severity.ERROR,
+        "§4.1",
+        "the Gamma kernels use 16x16 (base/c64) or 16x8 (ruse) threads; restore that blocking",
+    ),
+    Rule(
+        "RES003",
+        "residency: the block cannot be resident on the device (registers/SMEM/threads)",
+        Severity.ERROR,
+        "§4.1",
+        "cut per-thread registers or SMEM until at least one block fits per SM",
+    ),
+    Rule(
+        "RES004",
+        "occupancy floor: achieved occupancy is below 25%",
+        Severity.INFO,
+        "§4.1/§5.4",
+        "expected for ruse variants (merged threads halve parallelism); informational",
+    ),
+    # --- transform conditioning (§5.3 / §6.2.2) ----------------------------
+    Rule(
+        "COND001",
+        "transform conditioning: point set conditions worse than the paper's canonical points",
+        Severity.WARNING,
+        "§5.3",
+        "use repro.core.points.points_for (0, then sign-balanced m, -m, 1/m, -1/m pairs)",
+    ),
+    Rule(
+        "COND002",
+        "degenerate points: interpolation points must be distinct (and finite)",
+        Severity.ERROR,
+        "§5.3",
+        "duplicate points make the Toom-Cook system singular; pick distinct points",
+    ),
+    Rule(
+        "COND003",
+        "magnitude disparity: transform-matrix entries exceed the half-precision envelope",
+        Severity.INFO,
+        "§6.2.2",
+        "alpha=16 schemes are float32-only (fused.py enforces this at run time)",
+    ),
+]
+
+#: rule_id -> Rule for every registered invariant.
+RULES: dict[str, Rule] = {r.rule_id: r for r in _RULE_LIST}
+
+
+def make_finding(
+    rule_id: str,
+    message: str,
+    *,
+    severity: Severity | None = None,
+    location: dict[str, Any] | None = None,
+    context: dict[str, Any] | None = None,
+) -> Finding:
+    """Create a finding for a registered rule (KeyError on unknown IDs)."""
+    rule = RULES[rule_id]
+    return Finding(
+        rule_id=rule.rule_id,
+        severity=severity if severity is not None else rule.severity,
+        message=message,
+        section=rule.section,
+        fix_hint=rule.fix_hint,
+        location=location or {},
+        context=context or {},
+    )

@@ -618,11 +618,21 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     if args.json:
-        print(json.dumps(profile.as_dict(), indent=2, sort_keys=True))
+        # stdout stays machine-parseable: the payload is the only thing
+        # printed, with any correction notes embedded alongside their
+        # stderr copies above.
+        doc = profile.as_dict()
+        doc["notes"] = [note] if note else []
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        if written:
+            print(
+                f"[kprof] Chrome trace with counter tracks written to {written}",
+                file=sys.stderr,
+            )
     else:
         print(profile.render())
-    if written:
-        print(f"\n[kprof] Chrome trace with counter tracks written to {written}")
+        if written:
+            print(f"\n[kprof] Chrome trace with counter tracks written to {written}")
     return 0
 
 

@@ -112,3 +112,46 @@ class TestRedundantFraction:
     def test_invalid(self):
         with pytest.raises(ValueError):
             redundant_fraction(0, 3)
+
+
+class TestBoundaryEdgeCases:
+    """Edge geometries of the §5.5 segmentation: narrow OW, r=1, exact fits."""
+
+    def test_ow_smaller_than_primary_n(self):
+        """OW=3 < n=6: the chain falls through to Gamma_4(2,3) + GEMM."""
+        segs = plan_width_segments(3, 3, primary=get_kernel(8, 3))
+        assert [(s.name, s.width) for s in segs] == [("Gamma_4(2,3)", 2), ("GEMM", 1)]
+        assert segs[0].start == 0 and segs[1].start == 2
+
+    def test_ow_equals_r_minus_1(self):
+        """OW = r-1 = 2 is exactly one Gamma_4(2,3) tile: no GEMM tail."""
+        segs = plan_width_segments(2, 3)
+        assert [(s.name, s.width) for s in segs] == [("Gamma_4(2,3)", 2)]
+
+    def test_ow_one_goes_entirely_to_gemm(self):
+        segs = plan_width_segments(1, 2)
+        assert len(segs) == 1 and segs[0].is_gemm and segs[0].width == 1
+
+    def test_r1_has_no_kernel_chain(self):
+        """1x1 filters are pure GEMM territory: the chain lookup refuses."""
+        with pytest.raises(ValueError, match="width 1"):
+            segment_chain(1)
+        with pytest.raises(ValueError, match="width 1"):
+            plan_width_segments(8, 1)
+
+    def test_oversized_r_has_no_kernel_chain(self):
+        with pytest.raises(ValueError):
+            plan_width_segments(64, 16)
+
+    @given(n=st.integers(1, 16), tiles=st.integers(1, 8))
+    def test_redundant_fraction_zero_iff_exact_tiling(self, n, tiles):
+        """Exact multiples of n waste nothing; anything else wastes > 0."""
+        assert redundant_fraction(tiles * n, n) == 0.0
+        for ow in (tiles * n - 1, tiles * n + 1):
+            if ow >= 1 and ow % n != 0:
+                assert redundant_fraction(ow, n) > 0.0
+
+    def test_redundant_fraction_ow_below_n(self):
+        """OW < n: a single tile, (n - ow)/n of it wasted."""
+        assert redundant_fraction(2, 6) == pytest.approx(4 / 6)
+        assert redundant_fraction(5, 6) == pytest.approx(1 / 6)

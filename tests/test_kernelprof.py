@@ -247,6 +247,39 @@ class TestCliParsing:
         assert doc["device"] == "RTX3060Ti"
         assert doc["launches"][0]["kernel"].startswith("Gamma^c64_16")
 
+    def test_cli_json_embeds_correction_notes(self, capsys):
+        # the g8n2r3 token is inconsistent (2 + 3 - 1 != 8): the correction
+        # goes to stderr AND into the payload's "notes", keeping stdout JSON
+        rc = main(
+            ["--device", "rtx4090", "--variant", "g8n2r3",
+             "--shape", "128x96x96x64", "--json"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "inconsistent" in captured.err
+        doc = json.loads(captured.out)
+        assert len(doc["notes"]) == 1 and "inconsistent" in doc["notes"][0]
+
+    def test_cli_json_clean_token_has_empty_notes(self, capsys):
+        rc = main(
+            ["--device", "rtx4090", "--variant", "g8n6r3",
+             "--shape", "128x96x96x64", "--json"]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["notes"] == []
+
+    def test_cli_json_with_trace_keeps_stdout_parseable(self, tmp_path, capsys):
+        out = tmp_path / "kprof.json"
+        rc = main(
+            ["--device", "rtx4090", "--variant", "g8r3",
+             "--shape", "128x96x96x64", "--json", "--trace-json", str(out)]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        json.loads(captured.out)  # no trace-written line mixed into stdout
+        assert "Chrome trace" in captured.err
+
     def test_cli_trace_json(self, tmp_path, capsys):
         out = tmp_path / "kprof.json"
         rc = main(
