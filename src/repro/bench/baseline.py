@@ -25,8 +25,19 @@ Suites
 ``table2``
     The Table 2 speedup-band endpoints (min/max over each panel's shapes)
     against the best cuDNN candidate.
+``wallclock`` / ``wallclock-smoke``
+    *Measured* (not modeled) wall-clock of the compiled-plan runtime
+    (:func:`repro.runtime.convolve`) against the legacy interpreted path
+    (``conv2d_im2col_winograd(..., legacy=True)``) on the Figure 8
+    ``Gamma_8(6,3)`` panel geometries (batch scaled to 1 for NumPy), with a
+    bit-identity check per shape.  ``wallclock-smoke`` is the four-shape CI
+    subset; the committed ``BENCH_wallclock_gate.json`` pins only the
+    ``speedup``/``bit_identical`` floors (1.0), so the CI gate reads "fused
+    not slower than legacy, outputs bit-identical" without pinning absolute
+    times to one machine.
 ``full``
-    Union of all of the above.
+    Union of all of the above (modeled suites; wall-clock is captured
+    separately since it is machine-dependent).
 
 CLI::
 
@@ -88,6 +99,8 @@ _HIGHER_BETTER_SUFFIXES = (
     "tail_efficiency",
     "speedup_min",
     "speedup_max",
+    "speedup",
+    "bit_identical",
 )
 
 
@@ -274,11 +287,94 @@ def _full_metrics() -> dict[str, float]:
     return out
 
 
+#: Repetitions per (shape, path) wall-clock measurement; the median rep is
+#: recorded (robust against scheduler noise on shared CI runners).
+WALLCLOCK_REPS = 5
+
+#: Indices into the Figure 8 ``Gamma_8(6,3)`` panel used by the CI smoke
+#: subset — one shape per channel depth, each legacy-side < ~150 ms.
+WALLCLOCK_SMOKE_INDICES = (2, 4, 6, 8)
+
+
+def wallclock_shapes() -> list[tuple[int, int, int, int]]:
+    """The Figure 8 ``Gamma_8(6,3)`` geometries as ``(N, IH, IW, C)``.
+
+    Spatial dims and channel depths are the paper's (ofm == ifm for 3x3
+    same-padding); the batch is scaled to 1 so the NumPy measurement stays
+    CI-sized.  ``IC == OC`` on this panel.
+    """
+    from .shapes import FIG8_PANELS
+
+    _, _, ofms = FIG8_PANELS["Gamma_8(6,3)"]
+    return [(1, oh, ow, oc) for (_, oh, ow, oc) in ofms]
+
+
+def _wallclock_metrics(
+    indices: tuple[int, ...] | None = None, reps: int = WALLCLOCK_REPS
+) -> dict[str, float]:
+    """Measured fused-vs-legacy wall-clock on the Fig 8 3x3 shapes.
+
+    Per shape: median-of-``reps`` wall-clock of the legacy interpreted path
+    (as shipped before the runtime: re-planned per call, default channel
+    blocking) and of the compiled runtime (warm executable cache — the
+    compile-once-execute-many regime the plan cache exists for), the
+    ``speedup`` ratio, and a ``bit_identical`` flag comparing the runtime
+    output against the legacy path run with ``block_ic >= IC`` (the runtime
+    accumulates the full channel depth in one fh-fused contraction, which
+    coincides with legacy channel blocking at ``block_ic >= IC``; for
+    ``IC <= 64`` that *is* the legacy default).
+    """
+    import statistics
+
+    import numpy as np
+
+    from .. import runtime
+    from ..core.fused import conv2d_im2col_winograd
+
+    def median_ms(fn) -> float:
+        fn()  # warm-up: executable compile + filter transform on first call
+        times = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return statistics.median(times) * 1e3
+
+    shapes = wallclock_shapes()
+    if indices is not None:
+        shapes = [shapes[i] for i in indices]
+    rng = np.random.default_rng(20240806)
+    out: dict[str, float] = {}
+    speedups: list[float] = []
+    all_exact = 1.0
+    for batch, ih, iw, c in shapes:
+        x = rng.standard_normal((batch, ih, iw, c)).astype(np.float32)
+        w = rng.standard_normal((c, 3, 3, c)).astype(np.float32)
+        ref = conv2d_im2col_winograd(x, w, alpha=8, legacy=True, block_ic=c)
+        got = runtime.convolve(x, w, alpha=8)
+        exact = float(np.array_equal(ref, got))
+        t_legacy = median_ms(lambda: conv2d_im2col_winograd(x, w, alpha=8, legacy=True))
+        t_fused = median_ms(lambda: runtime.convolve(x, w, alpha=8))
+        speedup = t_legacy / t_fused
+        speedups.append(speedup)
+        all_exact = min(all_exact, exact)
+        prefix = f"wallclock/g8n6r3/{batch}x{ih}x{iw}x{c}"
+        out[f"{prefix}/legacy_time_ms"] = t_legacy
+        out[f"{prefix}/fused_time_ms"] = t_fused
+        out[f"{prefix}/speedup"] = speedup
+        out[f"{prefix}/bit_identical"] = exact
+    out["wallclock/median_speedup"] = statistics.median(speedups)
+    out["wallclock/bit_identical"] = all_exact
+    return out
+
+
 SUITES = {
     "smoke": _smoke_metrics,
     "fig8": lambda: _figure_metrics("fig8"),
     "fig9": lambda: _figure_metrics("fig9"),
     "table2": _table2_metrics,
+    "wallclock": _wallclock_metrics,
+    "wallclock-smoke": lambda: _wallclock_metrics(WALLCLOCK_SMOKE_INDICES),
     "full": _full_metrics,
 }
 

@@ -43,7 +43,7 @@ from .boundary import Segment, plan_width_segments
 from .kernels import KernelId, default_alpha_for_width, get_kernel
 from .transforms import TransformMatrices, winograd_matrices
 
-__all__ = ["conv2d_im2col_winograd", "winograd_segment", "gemm_segment"]
+__all__ = ["conv2d_im2col_winograd", "winograd_segment", "gemm_segment", "gemm_input_strip"]
 
 #: Channel-block depth mirroring the kernels' BK-blocked IC loop.  On the GPU
 #: BK=8 bounds SMEM; here a larger block amortises Python overhead while still
@@ -61,6 +61,7 @@ def conv2d_im2col_winograd(
     variant: str = "base",
     dtype: np.dtype | type = np.float32,
     block_ic: int = DEFAULT_BLOCK_IC,
+    legacy: bool = False,
 ) -> np.ndarray:
     """Unit-stride 2D convolution via fused Im2col-Winograd.
 
@@ -85,12 +86,26 @@ def conv2d_im2col_winograd(
     dtype:
         Computation dtype (``float32`` matches the paper's kernels).
     block_ic:
-        Channel block depth of the accumulation loop.
+        Channel block depth of the accumulation loop (interpreted path only;
+        the compiled runtime accumulates the full channel depth in one fused
+        contraction, which coincides with ``block_ic >= IC``).
+    legacy:
+        ``False`` (default) resolves the call through the compiled-plan
+        runtime (:mod:`repro.runtime`): cached boundary plan, transform
+        matrices, filter transforms and einsum paths, with the Winograd
+        stage run as a single fh-fused contraction per segment.  ``True``
+        forces the original interpreted path (re-planned per call, explicit
+        per-``(fh, block_ic)`` accumulation loop) — the reference the
+        runtime is tested bit-identical against.
 
     Returns
     -------
     ofms ``(N, OH, OW, OC)`` in ``dtype``.
     """
+    if not legacy:
+        from ..runtime import convolve  # lazy: runtime imports core at load
+
+        return convolve(x, w, ph=ph, pw=pw, alpha=alpha, variant=variant, dtype=dtype)
     if x.ndim != 4 or w.ndim != 4:
         raise ValueError(f"expected 4D x and w, got ndim {x.ndim} and {w.ndim}")
     if x.shape[3] != w.shape[3]:
@@ -194,6 +209,13 @@ def winograd_segment(
     oc, fh, fw, ic = w.shape
     if mats is None:
         mats = winograd_matrices(n_out, r, dtype=x.dtype.name)
+    elif np.dtype(mats.AT.dtype) != x.dtype:
+        # A float64 mats would silently upcast the whole accumulator (and
+        # the output), masking the precision the caller asked for.
+        raise ValueError(
+            f"mats dtype {mats.AT.dtype} does not match input dtype {x.dtype}; "
+            "pass mats.as_dtype(x.dtype) or omit mats"
+        )
 
     counter_add("winograd.segments", kernel=kernel.name)
     counter_add("winograd.tiles", batch * oh * num_tiles, kernel=kernel.name)
@@ -244,6 +266,28 @@ def winograd_segment(
     return y.reshape(batch, oh, num_tiles * n_out, oc)
 
 
+def gemm_input_strip(x: np.ndarray, seg_start: int, width: int, *, pw: int, fw: int) -> np.ndarray:
+    """The input column strip feeding ``width`` output columns at ``seg_start``.
+
+    The strip spans ``[seg_start - pw, seg_start - pw + width + fw - 1)`` in
+    unpadded coordinates.  When that range lies entirely inside the input —
+    the common case for a mid-tensor GEMM tail — the returned strip is a
+    zero-copy view of ``x``; only true edge segments materialise a
+    zero-filled buffer for the implicit padding.
+    """
+    batch, ih, iw, ic = x.shape
+    col_lo = seg_start - pw
+    need = width + fw - 1
+    if 0 <= col_lo and col_lo + need <= iw:
+        return x[:, :, col_lo : col_lo + need, :]
+    src_c0 = max(col_lo, 0)
+    src_c1 = min(col_lo + need, iw)
+    strip = np.zeros((batch, ih, need, ic), dtype=x.dtype)
+    if src_c0 < src_c1:
+        strip[:, :, src_c0 - col_lo : src_c1 - col_lo, :] = x[:, :, src_c0:src_c1, :]
+    return strip
+
+
 def gemm_segment(
     x: np.ndarray, w: np.ndarray, seg: Segment, *, ph: int, pw: int, oh: int
 ) -> np.ndarray:
@@ -252,19 +296,14 @@ def gemm_segment(
 
     Only the ``seg.width`` needed output columns are produced: the input
     slice feeding them is ``[seg.start - pw, seg.start - pw + width + fw - 1)``
-    in unpadded coordinates, gathered with implicit zero padding.
+    in unpadded coordinates, gathered with implicit zero padding (sliced
+    zero-copy when the range is interior).
     """
     batch, ih, iw, ic = x.shape
     oc, fh, fw, _ = w.shape
     counter_add("gemm.tail_segments")
     counter_add("gemm.tail_columns", seg.width)
-    col_lo = seg.start - pw
-    need = seg.width + fw - 1
-    src_c0 = max(col_lo, 0)
-    src_c1 = min(col_lo + need, iw)
-    strip = np.zeros((batch, ih, need, ic), dtype=x.dtype)
-    if src_c0 < src_c1:
-        strip[:, :, src_c0 - col_lo : src_c1 - col_lo, :] = x[:, :, src_c0:src_c1, :]
+    strip = gemm_input_strip(x, seg.start, seg.width, pw=pw, fw=fw)
     cols = im2col_nhwc(strip, fh, fw, ph, 0)  # width already materialised
     a = np.ascontiguousarray(w.transpose(1, 2, 3, 0).reshape(fh * fw * ic, oc))
     y = cols @ a

@@ -12,8 +12,8 @@ for a unit-stride forward convolution ``Y = X * W`` with padding
 ``dX`` is itself a unit-stride NHWC convolution, so it runs on the same
 fused Winograd kernels — that is the paper's "backward kernels have similar
 performance to the forward kernels" claim, and it is why this module routes
-``conv2d_input_grad`` through :func:`repro.core.fused.conv2d_im2col_winograd`
-by default.  ``dW`` is a GEMM over the im2col matrix (cuDNN does the same;
+``conv2d_input_grad`` through the compiled-plan runtime
+(:func:`repro.runtime.convolve`) by default.  ``dW`` is a GEMM over the im2col matrix (cuDNN does the same;
 the paper's Winograd kernels cover forward + data-grad only).
 """
 
@@ -23,7 +23,6 @@ import numpy as np
 
 from ..nhwc.layouts import rotate_filter_180
 from ..nhwc.tensor import im2col_nhwc
-from .fused import conv2d_im2col_winograd
 
 __all__ = ["backward_filter_for_input_grad", "conv2d_input_grad", "conv2d_filter_grad"]
 
@@ -81,7 +80,13 @@ def conv2d_input_grad(
     wb = backward_filter_for_input_grad(w)  # (IC, FH, FW, OC)
     bp_h, bp_w = fh - 1 - ph, fw - 1 - pw
     if engine == "winograd":
-        return conv2d_im2col_winograd(dy, wb, ph=bp_h, pw=bp_w, alpha=alpha, dtype=dy.dtype)
+        # Compiled-plan runtime: the backward-deconvolution signature (dy as
+        # ifms, flipped filters) gets its own cached executable, and the
+        # content-hashed filter-transform cache absorbs the per-call ``wb``
+        # rebuild while the forward weights are unchanged.
+        from ..runtime import convolve  # lazy: runtime imports core at load
+
+        return convolve(dy, wb, ph=bp_h, pw=bp_w, alpha=alpha, dtype=dy.dtype)
     if engine == "gemm":
         return conv2d_gemm(dy, wb, ph=bp_h, pw=bp_w)
     raise ValueError(f"unknown engine {engine!r}")

@@ -13,20 +13,29 @@ does when it freezes a model.
   operand for the tail),
 * then applies the convolution to any batch of matching ifms.
 
+Execution is delegated to the compiled-plan runtime
+(:mod:`repro.runtime`): the per-``(IH, IW)`` executables come from the
+shared process-wide cache, and the frozen filter operands are passed as a
+pre-resolved :class:`~repro.runtime.executable.FilterBundle`, so repeated
+inference never re-hashes or re-transforms the weights.
+
 Numerics are identical to :func:`repro.core.fused.conv2d_im2col_winograd`
 (same transforms, same accumulation order) — asserted in the test suite.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..nhwc.tensor import conv_output_size
-from ..nhwc.tiles import extract_width_tiles
 from .boundary import Segment, plan_width_segments
 from .fused import DEFAULT_BLOCK_IC
 from .kernels import default_alpha_for_width, get_kernel
-from .transforms import TransformMatrices, winograd_matrices
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.executable import FilterBundle
 
 __all__ = ["PlannedConv2D"]
 
@@ -47,6 +56,9 @@ class PlannedConv2D:
         Kernel selection, as in the functional API.
     dtype:
         Computation dtype.
+    block_ic:
+        Accepted for API compatibility; the compiled runtime accumulates the
+        full channel depth in one fused contraction.
     """
 
     def __init__(
@@ -61,6 +73,8 @@ class PlannedConv2D:
         dtype: np.dtype | type = np.float32,
         block_ic: int = DEFAULT_BLOCK_IC,
     ) -> None:
+        from ..runtime.executable import build_filter_bundle  # lazy: import cycle
+
         if w.ndim != 4:
             raise ValueError(f"expected 4D filters, got ndim {w.ndim}")
         self.w = np.asarray(w, dtype=dtype)
@@ -76,36 +90,33 @@ class PlannedConv2D:
         self.block_ic = block_ic
         if alpha is None:
             alpha = default_alpha_for_width(fw)
+        self.alpha = alpha
+        self.variant = variant
         primary = get_kernel(alpha, fw, variant)
         self.segments: list[Segment] = plan_width_segments(self.ow, fw, primary=primary)
 
-        # Pre-transform filters per distinct Winograd scheme in the plan.
-        self._mats: dict[tuple[int, int], TransformMatrices] = {}
-        self._u: dict[tuple[int, int], np.ndarray] = {}
-        for seg in self.segments:
-            if seg.is_gemm:
-                continue
-            spec = seg.kernel.spec  # type: ignore[union-attr]
-            key = (spec.n, spec.r)
-            if key in self._u:
-                continue
-            mats = winograd_matrices(spec.n, spec.r, dtype=np.dtype(dtype).name)
-            self._mats[key] = mats
-            self._u[key] = np.ascontiguousarray(
-                np.einsum("kp,ofpi->fkio", mats.G, self.w, optimize=True)
-            )
-        # Folded GEMM operand for the tail segment.
-        self._gemm_operand = np.ascontiguousarray(
-            self.w.transpose(1, 2, 3, 0).reshape(fh * fw * ic, oc)
+        # Pre-transform filters per distinct Winograd scheme in the plan
+        # (§6.1.2), packaged as the runtime's FilterBundle so execution hits
+        # the compiled path with zero per-call filter work.
+        schemes = [
+            (seg.kernel.spec.n, seg.kernel.spec.r)  # type: ignore[union-attr]
+            for seg in self.segments
+            if not seg.is_gemm
+        ]
+        self._bundle: "FilterBundle" = build_filter_bundle(
+            self.w, schemes, np.dtype(self.w.dtype), token=("planned", id(self))
         )
+        self._u = self._bundle.u
 
     @property
     def transformed_filter_bytes(self) -> int:
         """Memory held by the pre-computed transforms (the §6.1.2 trade)."""
-        return sum(u.nbytes for u in self._u.values())
+        return self._bundle.transformed_filter_bytes
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         """Convolve a batch ``(N, IH, iw, IC)`` with the frozen filters."""
+        from ..runtime import ConvSignature, get_executable  # lazy: import cycle
+
         oc, fh, fw, ic = self.w.shape
         if x.ndim != 4:
             raise ValueError(f"expected 4D input, got ndim {x.ndim}")
@@ -114,58 +125,11 @@ class PlannedConv2D:
         if x.shape[3] != ic:
             raise ValueError(f"channel mismatch: input {x.shape[3]}, filter {ic}")
         x = np.asarray(x, dtype=self.w.dtype)
-        batch, ih, _, _ = x.shape
-        oh = conv_output_size(ih, fh, self.ph)
-        y = np.empty((batch, oh, self.ow, oc), dtype=self.w.dtype)
-        for seg in self.segments:
-            sl = slice(seg.start, seg.start + seg.width)
-            if seg.is_gemm:
-                y[:, :, sl, :] = self._gemm_tail(x, seg, oh)
-            else:
-                y[:, :, sl, :] = self._winograd_segment(x, seg, oh)
-        return y
-
-    def _winograd_segment(self, x: np.ndarray, seg: Segment, oh: int) -> np.ndarray:
-        spec = seg.kernel.spec  # type: ignore[union-attr]
-        n_out, r, alpha = spec.n, spec.r, spec.alpha
-        key = (n_out, r)
-        mats = self._mats[key]
-        u_all = self._u[key]
-        num_tiles = seg.width // n_out
-        batch = x.shape[0]
-        oc, fh, _, ic = self.w.shape
-        m = np.zeros((alpha, batch * oh * num_tiles, oc), dtype=x.dtype)
-        for f in range(fh):
-            tiles = extract_width_tiles(
-                x,
-                fh_offset=f,
-                ow_start=seg.start,
-                num_tiles=num_tiles,
-                n=n_out,
-                alpha=alpha,
-                ph=self.ph,
-                pw=self.pw,
-                oh=oh,
-            )
-            for c0 in range(0, ic, self.block_ic):
-                c1 = min(c0 + self.block_ic, ic)
-                blk = np.ascontiguousarray(tiles[..., c0:c1])
-                v = np.einsum("ka,nhtac->knhtc", mats.DT, blk, optimize=True)
-                v = v.reshape(alpha, batch * oh * num_tiles, c1 - c0)
-                m += v @ u_all[f, :, c0:c1, :]
-        out = np.einsum("jk,kmo->mjo", mats.AT, m, optimize=True)
-        return out.reshape(batch, oh, num_tiles * n_out, oc)
-
-    def _gemm_tail(self, x: np.ndarray, seg: Segment, oh: int) -> np.ndarray:
-        from ..nhwc.tensor import im2col_nhwc
-
-        oc, fh, fw, ic = self.w.shape
-        batch, ih, iw, _ = x.shape
-        col_lo = seg.start - self.pw
-        need = seg.width + fw - 1
-        src0, src1 = max(col_lo, 0), min(col_lo + need, iw)
-        strip = np.zeros((batch, ih, need, ic), dtype=x.dtype)
-        if src0 < src1:
-            strip[:, :, src0 - col_lo : src1 - col_lo, :] = x[:, :, src0:src1, :]
-        cols = im2col_nhwc(strip, fh, fw, self.ph, 0)
-        return (cols @ self._gemm_operand).reshape(batch, oh, seg.width, oc)
+        # Heights are free: only the width is baked into the plan.  Each
+        # distinct IH resolves to its own executable in the shared cache.
+        sig = ConvSignature.resolve(
+            ih=x.shape[1], iw=self.iw, ic=ic, oc=oc, fh=fh, fw=fw,
+            ph=self.ph, pw=self.pw, alpha=self.alpha, variant=self.variant,
+            dtype=self.w.dtype,
+        )
+        return get_executable(sig)(x, bundle=self._bundle)

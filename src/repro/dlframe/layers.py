@@ -1,8 +1,10 @@
 """Neural-network layers over the autograd substrate.
 
 The convolution layer is the experiment: ``engine="winograd"`` routes
-unit-stride convolutions through :func:`repro.core.fused.conv2d_im2col_winograd`
-(forward) and the backward deconvolution of :mod:`repro.core.gradients`
+unit-stride convolutions through the compiled-plan runtime
+(:func:`repro.runtime.convolve` — cached executables + fh-fused
+contractions, bit-identical to :func:`repro.core.fused.conv2d_im2col_winograd`)
+forward, and the backward deconvolution of :mod:`repro.core.gradients`
 (data grad), exactly as Dragon-Alpha dispatches (§5.7); ``engine="gemm"``
 uses the im2col GEMM everywhere and stands in for the PyTorch baseline.
 Non-unit-stride convolutions always take the GEMM path, matching the paper
@@ -17,9 +19,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..baselines.gemm import conv2d_gemm
-from ..core.fused import conv2d_im2col_winograd
 from ..core.gradients import conv2d_filter_grad, conv2d_input_grad
 from ..obs import span
+from ..runtime import convolve as runtime_convolve
 from .autograd import Tensor, make_op
 from .initializers import kaiming_uniform
 
@@ -223,7 +225,11 @@ class Conv2D(Module):
             if engine == "winograd" and getattr(self, "_frozen", False):
                 y = self._frozen_forward(xd)
             elif engine == "winograd":
-                y = conv2d_im2col_winograd(xd, wd, ph=ph, pw=pw)
+                # Compiled-plan runtime: the (shape, dtype) signature hits
+                # the executable cache after the first step, and the
+                # content-hashed filter cache recomputes U exactly once per
+                # optimizer update (weights mutate in place).
+                y = runtime_convolve(xd, wd, ph=ph, pw=pw)
             else:
                 y = conv2d_gemm(xd, wd, ph=ph, pw=pw, stride=stride)
         if self.bias is not None:

@@ -1,0 +1,49 @@
+"""Compiled-plan runtime: cached conv executables (compile once, run many).
+
+The interpreted path (:mod:`repro.core.fused`) re-derives the boundary
+plan, transform matrices, filter transforms and einsum contraction paths on
+every call.  This package compiles a conv *signature* — geometry, padding,
+``Gamma_alpha`` kernel selection and dtype — into a reusable
+:class:`ConvExecutable` held in a process-wide LRU (the analogue of cuDNN's
+descriptor-keyed heuristic/plan cache), and executes the Winograd stage as
+a single fh-fused contraction per segment.
+
+Entry points
+------------
+:func:`convolve`
+    Drop-in, bit-identical twin of ``conv2d_im2col_winograd``.
+:func:`configure`
+    Process-wide knobs: opt-in thread pool, workspace bound, cache size.
+:func:`cache_stats` / :func:`clear_cache`
+    Plan-cache observability (also exported as ``runtime.cache.*`` obs
+    counters).
+"""
+
+from .cache import (
+    CacheStats,
+    ExecutableCache,
+    cache_stats,
+    clear_cache,
+    get_executable,
+    global_cache,
+)
+from .engine import ExecutionConfig, configure, convolve, default_config
+from .executable import ConvExecutable, FilterBundle, build_filter_bundle
+from .signature import ConvSignature
+
+__all__ = [
+    "CacheStats",
+    "ConvExecutable",
+    "ConvSignature",
+    "ExecutableCache",
+    "ExecutionConfig",
+    "FilterBundle",
+    "build_filter_bundle",
+    "cache_stats",
+    "clear_cache",
+    "configure",
+    "convolve",
+    "default_config",
+    "get_executable",
+    "global_cache",
+]

@@ -1,0 +1,126 @@
+"""Runtime entry point and execution configuration.
+
+:func:`convolve` is the compiled-execution twin of
+:func:`repro.core.fused.conv2d_im2col_winograd`: same operands, same
+defaults, same error surface, bit-identical results — but the signature is
+resolved through the process-wide executable cache, so planning, transform
+matrices, gather descriptors, einsum paths and (per weight version) the
+filter transforms are all reused across calls.
+
+:class:`ExecutionConfig` carries the execution knobs: ``threads`` enables
+the opt-in thread pool over (segment, batch-chunk) tasks for the training
+path, ``workspace_bytes`` bounds the per-chunk intermediate footprint.
+Both only change dispatch, never arithmetic — results stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .cache import get_executable, global_cache
+from .executable import FilterBundle
+from .signature import ConvSignature
+
+__all__ = ["ExecutionConfig", "configure", "convolve", "default_config"]
+
+#: Default bound on per-chunk intermediates (gathered region + V + P).  Large
+#: batches are split so the transform-domain workspace stays cache-friendly
+#: instead of scaling with N.
+DEFAULT_WORKSPACE_BYTES = 256 * 1024 * 1024
+
+
+@dataclass
+class ExecutionConfig:
+    """Dispatch knobs for compiled execution (arithmetic-neutral)."""
+
+    threads: int = 0
+    workspace_bytes: int = DEFAULT_WORKSPACE_BYTES
+    _pool: ThreadPoolExecutor | None = field(default=None, repr=False, compare=False)
+    _pool_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def pool(self) -> ThreadPoolExecutor:
+        """Lazily-built shared pool of ``threads`` workers."""
+        if self.threads < 2:
+            raise ValueError("pool() requires threads >= 2")
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.threads, thread_name_prefix="repro-runtime"
+                )
+            return self._pool
+
+    def shutdown(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+
+_DEFAULT = ExecutionConfig()
+
+
+def default_config() -> ExecutionConfig:
+    """The process-wide execution configuration."""
+    return _DEFAULT
+
+
+def configure(
+    *,
+    threads: int | None = None,
+    workspace_bytes: int | None = None,
+    cache_capacity: int | None = None,
+) -> ExecutionConfig:
+    """Adjust the process-wide runtime configuration in place.
+
+    ``threads=0`` (the default) keeps dispatch serial; ``threads=k >= 2``
+    enables the pooled dispatch over (segment, batch-chunk) tasks.
+    ``cache_capacity`` resizes the executable LRU.
+    Returns the active config for inspection.
+    """
+    if threads is not None:
+        if threads < 0:
+            raise ValueError(f"threads must be >= 0, got {threads}")
+        if threads != _DEFAULT.threads:
+            _DEFAULT.shutdown()
+            _DEFAULT.threads = threads
+    if workspace_bytes is not None:
+        if workspace_bytes < 1:
+            raise ValueError(f"workspace_bytes must be >= 1, got {workspace_bytes}")
+        _DEFAULT.workspace_bytes = workspace_bytes
+    if cache_capacity is not None:
+        global_cache().resize(cache_capacity)
+    return _DEFAULT
+
+
+def convolve(
+    x: np.ndarray,
+    w: np.ndarray,
+    *,
+    ph: int | None = None,
+    pw: int | None = None,
+    alpha: int | None = None,
+    variant: str = "base",
+    dtype: np.dtype | type | str = np.float32,
+    version: object = None,
+    bundle: FilterBundle | None = None,
+    config: ExecutionConfig | None = None,
+) -> np.ndarray:
+    """Unit-stride conv through the compiled-plan runtime.
+
+    Drop-in equivalent of
+    :func:`repro.core.fused.conv2d_im2col_winograd` (bit-identical outputs,
+    identical validation errors); ``version`` optionally names the weight
+    version to key the filter-transform cache without content hashing, and
+    ``bundle`` supplies pre-resolved filter operands (frozen inference).
+    """
+    sig = ConvSignature.for_operands(
+        x, w, ph=ph, pw=pw, alpha=alpha, variant=variant, dtype=dtype
+    )
+    exe = get_executable(sig)
+    return exe(x, w, version=version, bundle=bundle, config=config)

@@ -1,0 +1,506 @@
+"""Compiled conv executables: plan once, execute many.
+
+A :class:`ConvExecutable` is the compiled form of one
+:class:`~repro.runtime.signature.ConvSignature`.  Construction performs every
+piece of work the interpreted path
+(:func:`repro.core.fused.conv2d_im2col_winograd` with ``legacy=True``)
+re-derives on each call:
+
+* the §5.5 boundary segmentation (stored as a real
+  :class:`~repro.core.planner.ConvPlan`, so the static sanitizer can audit
+  cached plans directly),
+* the exact Toom-Cook transform matrices per Winograd scheme in the plan,
+* a *gather descriptor* per Winograd segment — the padded-region bounds and
+  stride-trick geometry of the Stage-1 Im2col mapping, including whether the
+  region is interior (pure zero-copy view) or needs one zero-filled edge
+  buffer,
+* memoized einsum contraction paths,
+* a weight-version-keyed cache of the §6.1.2 filter transforms ``U = G w``
+  (layout ``(alpha, FH, IC, OC)``, ready for the fh-fused batched matmul)
+  and of the folded GEMM-tail operand.
+
+Execution then runs the Winograd stage as a single *fh-fused* contraction
+per segment: all ``FH`` filter rows are gathered as one strided view, the
+input transform is one tensordot, and the transform-domain products land in
+the ``alpha``-state accumulator through one ``(alpha·FH)``-batched matmul
+followed by an in-order reduction over ``fh`` — bit-identical accumulation
+order to the legacy per-``fh`` loop (asserted across the registry in
+``tests/test_runtime.py``), with none of its per-block
+``ascontiguousarray`` copies or Python-loop overhead.
+
+Large batches are processed in bounded workspace chunks; an opt-in thread
+pool (see :class:`~repro.runtime.engine.ExecutionConfig`) dispatches chunks
+concurrently for the training path.  Chunk boundaries never change the
+arithmetic, so threaded results stay bit-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+import numpy as np
+
+from ..core.boundary import Segment, plan_width_segments
+from ..core.fused import gemm_input_strip
+from ..core.kernels import get_kernel
+from ..core.planner import ConvPlan
+from ..core.transforms import TransformMatrices, winograd_matrices
+from ..nhwc.tensor import ConvShape, im2col_nhwc
+from ..nhwc.tiles import _gather_padded_region
+from ..obs import counter_add, span
+from .signature import ConvSignature
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .engine import ExecutionConfig
+
+__all__ = ["ConvExecutable", "FilterBundle", "build_filter_bundle"]
+
+SchemeKey = tuple[int, int]  # (n, r)
+
+#: Filter-transform cache entries kept per executable.  Inference holds one
+#: frozen entry; training alternates between at most a couple of weight
+#: versions per step (forward + recomputed backward filters), so a handful
+#: of slots bounds memory without thrashing.
+FILTER_CACHE_SLOTS = 4
+
+
+@dataclass(frozen=True)
+class FilterBundle:
+    """Pre-transformed filter operands for one weight version.
+
+    ``u`` maps each Winograd scheme ``(n, r)`` in the plan to the transform
+    ``U[k, f, ic, oc] = sum_p G[k, p] w[oc, f, p, ic]`` (C-contiguous, the
+    batch layout of the fh-fused matmul); ``gemm_operand`` is the folded
+    ``(FH*FW*IC, OC)`` matrix of the §5.5 GEMM tail.
+    """
+
+    token: object
+    u: dict[SchemeKey, np.ndarray]
+    gemm_operand: np.ndarray
+
+    @property
+    def transformed_filter_bytes(self) -> int:
+        """Memory held by the pre-computed transforms (the §6.1.2 trade)."""
+        return sum(arr.nbytes for arr in self.u.values())
+
+
+def build_filter_bundle(
+    w: np.ndarray,
+    schemes: Iterable[SchemeKey],
+    dtype: np.dtype,
+    *,
+    token: object = None,
+) -> FilterBundle:
+    """Compute the :class:`FilterBundle` of ``w`` for the given schemes.
+
+    Shared by :class:`ConvExecutable` and the frozen-inference wrapper so
+    the filter-transform arithmetic has exactly one definition.
+    """
+    w = np.asarray(w, dtype=dtype)
+    oc, fh, fw, ic = w.shape
+    u: dict[SchemeKey, np.ndarray] = {}
+    for key in schemes:
+        n, r = key
+        if key in u:
+            continue
+        mats = winograd_matrices(n, r, dtype=dtype.name)
+        # Same contraction as the legacy "kp,ofpi->fkio" (a dot over p per
+        # element, hence bit-identical values), laid out (k, f, ic, oc) so
+        # slices feed np.matmul's batch dims directly.
+        u[key] = np.ascontiguousarray(np.einsum("kp,ofpi->kfio", mats.G, w, optimize=True))
+    operand = np.ascontiguousarray(w.transpose(1, 2, 3, 0).reshape(fh * fw * ic, oc))
+    return FilterBundle(token=token, u=u, gemm_operand=operand)
+
+
+@dataclass(frozen=True)
+class _WinogradSegment:
+    """Compiled state of one Winograd-owned segment."""
+
+    seg: Segment
+    n: int
+    r: int
+    alpha: int
+    num_tiles: int
+    scheme: SchemeKey
+    kernel_name: str
+    # Gather descriptor: padded-region bounds covering all FH filter rows.
+    row_lo: int
+    nrows: int
+    col_lo: int
+    ncols: int
+    interior: bool
+
+
+@dataclass(frozen=True)
+class _GemmSegment:
+    """Compiled state of the §5.5 GEMM tail segment."""
+
+    seg: Segment
+    col_lo: int
+    need: int
+    interior: bool
+
+
+@dataclass(frozen=True)
+class _Task:
+    """One unit of dispatch: a segment restricted to a batch chunk."""
+
+    state: _WinogradSegment | _GemmSegment
+    n0: int
+    n1: int
+    first_chunk: bool
+
+
+class ConvExecutable:
+    """The compiled, reusable form of one conv signature."""
+
+    def __init__(self, sig: ConvSignature) -> None:
+        self.sig = sig
+        self.dtype = np.dtype(sig.dtype)
+        self.oh, self.ow = sig.oh, sig.ow
+        primary = get_kernel(sig.alpha, sig.fw, sig.variant)
+        segments = plan_width_segments(self.ow, sig.fw, primary=primary)
+        # A real ConvPlan (batch is irrelevant to the plan) so the static
+        # sanitizer and the perf model audit exactly what the runtime runs.
+        self.plan = ConvPlan(
+            ConvShape(
+                batch=1, ih=sig.ih, iw=sig.iw, ic=sig.ic, oc=sig.oc,
+                fh=sig.fh, fw=sig.fw, ph=sig.ph, pw=sig.pw, stride=1,
+            ),
+            "im2col-winograd",
+            primary=primary,
+            segments=tuple(segments),
+            reason=f"runtime-compiled unit-stride width-{sig.fw} convolution",
+        )
+        self.mats: dict[SchemeKey, TransformMatrices] = {}
+        self._states: list[_WinogradSegment | _GemmSegment] = []
+        for seg in segments:
+            if seg.is_gemm:
+                col_lo = seg.start - sig.pw
+                need = seg.width + sig.fw - 1
+                self._states.append(
+                    _GemmSegment(
+                        seg=seg,
+                        col_lo=col_lo,
+                        need=need,
+                        interior=0 <= col_lo and col_lo + need <= sig.iw,
+                    )
+                )
+                continue
+            spec = seg.kernel.spec  # type: ignore[union-attr]
+            key = (spec.n, spec.r)
+            if key not in self.mats:
+                self.mats[key] = winograd_matrices(spec.n, spec.r, dtype=self.dtype.name)
+            num_tiles = seg.width // spec.n
+            row_lo = -sig.ph
+            nrows = self.oh + sig.fh - 1
+            col_lo = seg.start - sig.pw
+            ncols = (num_tiles - 1) * spec.n + spec.alpha
+            self._states.append(
+                _WinogradSegment(
+                    seg=seg,
+                    n=spec.n,
+                    r=spec.r,
+                    alpha=spec.alpha,
+                    num_tiles=num_tiles,
+                    scheme=key,
+                    kernel_name=seg.name,
+                    row_lo=row_lo,
+                    nrows=nrows,
+                    col_lo=col_lo,
+                    ncols=ncols,
+                    interior=(
+                        0 <= row_lo
+                        and row_lo + nrows <= sig.ih
+                        and 0 <= col_lo
+                        and col_lo + ncols <= sig.iw
+                    ),
+                )
+            )
+        self._schemes: tuple[SchemeKey, ...] = tuple(self.mats)
+        self._filters: OrderedDict[object, FilterBundle] = OrderedDict()
+        self._flock = threading.Lock()
+        self._epaths: dict[tuple[str, tuple[tuple[int, ...], ...]], Any] = {}
+
+    # -- filter-transform cache (weight-version keyed) ---------------------
+
+    def weight_token(self, w: np.ndarray) -> object:
+        """Content token of ``w``: exact, cheap relative to the transform."""
+        w = np.asarray(w, dtype=self.dtype)
+        return ("h", w.shape, hash(w.tobytes()))
+
+    def filter_bundle(self, w: np.ndarray, *, version: object = None) -> FilterBundle:
+        """Pre-transformed operands for ``w``, cached by weight version.
+
+        ``version`` short-circuits the content hash for callers that track
+        weight identity themselves (frozen inference); by default the token
+        is an exact content hash, so in-place optimizer updates miss once
+        per step and repeated calls on unchanged weights hit.
+        """
+        w = np.asarray(w, dtype=self.dtype)
+        if w.shape != (self.sig.oc, self.sig.fh, self.sig.fw, self.sig.ic):
+            raise ValueError(
+                f"filter shape {w.shape} does not match signature "
+                f"{(self.sig.oc, self.sig.fh, self.sig.fw, self.sig.ic)}"
+            )
+        token = ("v", version) if version is not None else self.weight_token(w)
+        with self._flock:
+            bundle = self._filters.get(token)
+            if bundle is not None:
+                self._filters.move_to_end(token)
+                counter_add("runtime.filter_cache.hits")
+                return bundle
+        counter_add("runtime.filter_cache.misses")
+        bundle = build_filter_bundle(w, self._schemes, self.dtype, token=token)
+        with self._flock:
+            self._filters[token] = bundle
+            while len(self._filters) > FILTER_CACHE_SLOTS:
+                self._filters.popitem(last=False)
+                counter_add("runtime.filter_cache.evictions")
+        return bundle
+
+    @property
+    def cached_filter_versions(self) -> int:
+        return len(self._filters)
+
+    # -- memoized einsum contraction paths ---------------------------------
+
+    def _einsum(self, subscripts: str, *ops: np.ndarray) -> np.ndarray:
+        key = (subscripts, tuple(op.shape for op in ops))
+        path = self._epaths.get(key)
+        if path is None:
+            path = np.einsum_path(subscripts, *ops, optimize=True)[0]
+            self._epaths[key] = path
+        return np.einsum(subscripts, *ops, optimize=path)
+
+    # -- execution ---------------------------------------------------------
+
+    def __call__(
+        self,
+        x: np.ndarray,
+        w: np.ndarray | None = None,
+        *,
+        version: object = None,
+        bundle: FilterBundle | None = None,
+        config: "ExecutionConfig | None" = None,
+    ) -> np.ndarray:
+        """Run the compiled convolution on ``x`` (any batch size).
+
+        Either ``w`` (filters, resolved through the weight-version cache) or
+        a pre-resolved ``bundle`` must be provided.
+        """
+        from .engine import default_config
+
+        cfg = config if config is not None else default_config()
+        sig = self.sig
+        x = np.asarray(x, dtype=self.dtype)
+        if x.ndim != 4:
+            raise ValueError(f"expected 4D input, got ndim {x.ndim}")
+        if x.shape[1:] != (sig.ih, sig.iw, sig.ic):
+            raise ValueError(
+                f"input shape {x.shape[1:]} does not match compiled signature "
+                f"{(sig.ih, sig.iw, sig.ic)}"
+            )
+        if bundle is None:
+            if w is None:
+                raise ValueError("either w or a FilterBundle is required")
+            resolved: list[FilterBundle] = []
+        else:
+            resolved = [bundle]
+        batch = x.shape[0]
+        y = np.empty((batch, self.oh, self.ow, sig.oc), dtype=self.dtype)
+
+        def get_bundle() -> FilterBundle:
+            if not resolved:
+                assert w is not None
+                resolved.append(self.filter_bundle(w, version=version))
+            return resolved[0]
+
+        tasks = self._tasks(batch, cfg)
+        with span(
+            "conv2d",
+            engine="runtime",
+            batch=batch,
+            ih=sig.ih,
+            iw=sig.iw,
+            ic=sig.ic,
+            oc=sig.oc,
+            fh=sig.fh,
+            fw=sig.fw,
+            oh=self.oh,
+            ow=self.ow,
+            alpha=sig.alpha,
+            variant=sig.variant,
+            segments=len(tasks),
+            plan_segments=len(self._states),
+        ):
+            counter_add("conv.calls")
+            counter_add(
+                "conv.flops",
+                2 * batch * sig.oc * self.oh * self.ow * sig.fh * sig.fw * sig.ic,
+            )
+            counter_add("runtime.exec.calls")
+            if cfg.threads > 1 and len(tasks) > 1:
+                get_bundle()  # resolve once, outside the pool
+                pool = cfg.pool()
+                list(pool.map(lambda t: self._run_task(t, x, y, get_bundle), tasks))
+            else:
+                for task in tasks:
+                    self._run_task(task, x, y, get_bundle)
+        return y
+
+    def _tasks(self, batch: int, cfg: "ExecutionConfig") -> list[_Task]:
+        """Split each segment into bounded-workspace batch chunks."""
+        tasks: list[_Task] = []
+        itemsize = self.dtype.itemsize
+        for st in self._states:
+            if isinstance(st, _GemmSegment):
+                tasks.append(_Task(st, 0, batch, True))
+                continue
+            # Peak per batch row: gathered region + V + P (+ m, y slice).
+            per_row = itemsize * (
+                st.nrows * st.ncols * self.sig.ic
+                + st.alpha * self.sig.fh * self.oh * st.num_tiles
+                * (self.sig.ic + self.sig.oc)
+                + 2 * st.alpha * self.oh * st.num_tiles * self.sig.oc
+            )
+            rows = max(1, cfg.workspace_bytes // max(per_row, 1))
+            if cfg.threads > 1:
+                # Enough chunks to feed the pool, still workspace-bounded.
+                rows = min(rows, max(1, -(-batch // (2 * cfg.threads))))
+            rows = min(rows, batch)
+            for i, n0 in enumerate(range(0, batch, rows)):
+                tasks.append(_Task(st, n0, min(n0 + rows, batch), i == 0))
+        return tasks
+
+    def _run_task(
+        self,
+        task: _Task,
+        x: np.ndarray,
+        y: np.ndarray,
+        get_bundle: Callable[[], FilterBundle],
+    ) -> None:
+        st = task.state
+        if isinstance(st, _GemmSegment):
+            self._run_gemm(st, x, y, get_bundle, task)
+        else:
+            self._run_winograd(st, x, y, get_bundle, task)
+
+    def _run_winograd(
+        self,
+        st: _WinogradSegment,
+        x: np.ndarray,
+        y: np.ndarray,
+        get_bundle: Callable[[], FilterBundle],
+        task: _Task,
+    ) -> None:
+        sig = self.sig
+        seg = st.seg
+        n0, n1 = task.n0, task.n1
+        nc = n1 - n0
+        fh, ic, oc = sig.fh, sig.ic, sig.oc
+        alpha, num_tiles = st.alpha, st.num_tiles
+        mats = self.mats[st.scheme]
+        with span(
+            "segment",
+            kind="winograd",
+            kernel=seg.name,
+            start=seg.start,
+            width=seg.width,
+            batch0=n0,
+            batch1=n1,
+        ):
+            if task.first_chunk:
+                batch = x.shape[0]
+                counter_add("winograd.segments", kernel=st.kernel_name)
+                counter_add(
+                    "winograd.tiles", batch * self.oh * num_tiles, kernel=st.kernel_name
+                )
+                counter_add(
+                    "winograd.elem_mul_flops",
+                    2 * batch * self.oh * num_tiles * oc * alpha * fh * ic,
+                    kernel=st.kernel_name,
+                )
+            with span("transform.filter", kernel=st.kernel_name):
+                u = get_bundle().u[st.scheme]  # (alpha, FH, IC, OC)
+            with span("gather", rows=st.nrows, cols=st.ncols, interior=st.interior):
+                xb = x[n0:n1]
+                if st.interior:
+                    region = xb[
+                        :, st.row_lo : st.row_lo + st.nrows, st.col_lo : st.col_lo + st.ncols, :
+                    ]
+                else:
+                    region = _gather_padded_region(xb, st.row_lo, st.nrows, st.col_lo, st.ncols)
+                sn, sh, sw, sc = region.strides
+                # Every gathered region row as width tiles, each row once:
+                # (N, rows, T, alpha, IC).  Filter rows share input rows
+                # (row h of offset f+1 is row h+1 of offset f), so the input
+                # transform below touches ``OH + FH - 1`` rows instead of
+                # the ``FH * OH`` the per-fh gather re-reads.
+                row_tiles = np.lib.stride_tricks.as_strided(
+                    region,
+                    shape=(nc, st.nrows, num_tiles, alpha, ic),
+                    strides=(sn, sh, sw * st.n, sw, sc),
+                    writeable=False,
+                )
+                counter_add("gather.calls", fh)
+                counter_add(
+                    "gather.bytes",
+                    fh * nc * self.oh * num_tiles * alpha * ic * self.dtype.itemsize,
+                )
+            with span("transform.input", kernel=st.kernel_name):
+                # VR[k, n, row, t, c] = sum_a DT[k, a] row_tiles[n, row, t, a, c]
+                # — a dot over ``a`` per element, bit-identical to the
+                # per-fh legacy einsum, computed once per input row.
+                vr = np.tensordot(mats.DT, row_tiles, axes=([1], [3]))
+                sk, svn, svh, svt, svc = vr.strides
+                # Per-offset view: V[k, f, n, h, t, c] = VR[k, n, h + f, t, c],
+                # materialised contiguous so the batched matmul below sees
+                # the exact (M, IC) operand shape of the legacy path (BLAS
+                # bit-reproducibility holds per gemm shape, so the operand
+                # geometry is part of the bit-exactness contract).
+                v = np.lib.stride_tricks.as_strided(
+                    vr,
+                    shape=(alpha, fh, nc, self.oh, num_tiles, ic),
+                    strides=(sk, svh, svn, svh, svt, svc),
+                    writeable=False,
+                )
+                m_rows = nc * self.oh * num_tiles
+                v = np.ascontiguousarray(v).reshape(alpha, fh, m_rows, ic)
+            with span("accumulate", kernel=st.kernel_name):
+                # The fh-fused (alpha*FH)-batched matmul, then an in-order
+                # reduction over fh into the alpha-state accumulator —
+                # exactly the legacy loop's accumulation order.
+                p = np.matmul(v, u)  # (alpha, FH, M, OC)
+                m = np.zeros((alpha, m_rows, oc), dtype=self.dtype)
+                for f in range(fh):
+                    m += p[:, f]
+            with span("transform.output", kernel=st.kernel_name):
+                out = self._einsum("jk,kmo->mjo", mats.AT, m)
+            y[n0:n1, :, seg.start : seg.start + seg.width, :] = out.reshape(
+                nc, self.oh, num_tiles * st.n, oc
+            )
+
+    def _run_gemm(
+        self,
+        st: _GemmSegment,
+        x: np.ndarray,
+        y: np.ndarray,
+        get_bundle: Callable[[], FilterBundle],
+        task: _Task,
+    ) -> None:
+        sig = self.sig
+        seg = st.seg
+        with span("segment", kind="gemm", start=seg.start, width=seg.width):
+            counter_add("gemm.tail_segments")
+            counter_add("gemm.tail_columns", seg.width)
+            operand = get_bundle().gemm_operand
+            strip = gemm_input_strip(x, seg.start, seg.width, pw=sig.pw, fw=sig.fw)
+            cols = im2col_nhwc(strip, sig.fh, sig.fw, sig.ph, 0)
+            out = cols @ operand
+            y[:, :, seg.start : seg.start + seg.width, :] = out.reshape(
+                x.shape[0], self.oh, seg.width, sig.oc
+            )

@@ -127,7 +127,10 @@ class TestSuites:
             suite_metrics("nope")
 
     def test_registry_names(self):
-        assert set(SUITES) == {"smoke", "fig8", "fig9", "table2", "full"}
+        assert set(SUITES) == {
+            "smoke", "fig8", "fig9", "table2",
+            "wallclock", "wallclock-smoke", "full",
+        }
 
 
 class TestCli:

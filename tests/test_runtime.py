@@ -1,0 +1,280 @@
+"""Tests for the compiled-plan runtime (:mod:`repro.runtime`).
+
+The contract under test is the one the runtime ships on: **bit-identical**
+outputs to the legacy interpreted path (``conv2d_im2col_winograd`` with
+``legacy=True`` and ``block_ic >= IC`` — the runtime accumulates the full
+channel depth in one fh-fused contraction), cuDNN-style plan-cache
+behaviour (hit on repeat, miss on new signature, bounded eviction), a
+content-keyed filter-transform cache that notices in-place weight
+mutation, and arithmetic-neutral dispatch knobs (threads / workspace
+chunking change scheduling, never bits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs, runtime
+from repro.analysis.engine import analyze_plan
+from repro.core.boundary import Segment
+from repro.core.fused import conv2d_im2col_winograd, gemm_input_strip, winograd_segment
+from repro.core.kernels import get_kernel
+from repro.core.transforms import winograd_matrices
+from repro.runtime import ExecutionConfig, cache_stats, clear_cache, configure
+from repro.runtime.cache import DEFAULT_CAPACITY, global_cache
+from repro.runtime.engine import DEFAULT_WORKSPACE_BYTES
+from repro.runtime.executable import FILTER_CACHE_SLOTS
+from repro.runtime.signature import ConvSignature
+
+
+@pytest.fixture(autouse=True)
+def _fresh_runtime():
+    """Each test sees an empty plan cache and default dispatch config."""
+    clear_cache()
+    configure(threads=0, workspace_bytes=DEFAULT_WORKSPACE_BYTES)
+    global_cache().resize(DEFAULT_CAPACITY)
+    yield
+    clear_cache()
+    configure(threads=0, workspace_bytes=DEFAULT_WORKSPACE_BYTES)
+    global_cache().resize(DEFAULT_CAPACITY)
+
+
+def legacy_exact(x: np.ndarray, w: np.ndarray, **kw) -> np.ndarray:
+    """The legacy path in the channel-blocking regime the runtime matches."""
+    return conv2d_im2col_winograd(x, w, legacy=True, block_ic=w.shape[3], **kw)
+
+
+class TestBitIdenticalEquivalence:
+    """Runtime output == legacy output, to the bit, across the plan space."""
+
+    # (N, IH, IW, IC, OC) exercising ragged boundaries (Winograd tiles +
+    # GEMM tail), exact tiling (no tail), and a GEMM-only plan (OW < n).
+    SHAPES = [
+        (2, 9, 23, 3, 5),  # ragged: tail columns after the tiled span
+        (1, 8, 18, 4, 4),  # exact tiling for n=6 (OW = 18)
+        (2, 5, 4, 3, 2),  # GEMM-only: OW below every tile width
+    ]
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize(
+        "alpha,variant", [(4, "base"), (4, "ruse"), (8, "base"), (16, "base")]
+    )
+    def test_variants_and_alphas(self, rng, shape, alpha, variant):
+        n, ih, iw, ic, oc = shape
+        x = rng.standard_normal((n, ih, iw, ic)).astype(np.float32)
+        w = rng.standard_normal((oc, 3, 3, ic)).astype(np.float32)
+        want = legacy_exact(x, w, alpha=alpha, variant=variant)
+        got = runtime.convolve(x, w, alpha=alpha, variant=variant)
+        np.testing.assert_array_equal(got, want)
+
+    def test_c64_variant(self, rng):
+        x = rng.standard_normal((1, 7, 30, 64)).astype(np.float32)
+        w = rng.standard_normal((64, 3, 3, 64)).astype(np.float32)
+        want = legacy_exact(x, w, alpha=16, variant="c64")
+        got = runtime.convolve(x, w, alpha=16, variant="c64")
+        np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64, np.float16])
+    def test_dtypes(self, rng, dtype):
+        x = rng.standard_normal((2, 6, 20, 5)).astype(dtype)
+        w = rng.standard_normal((4, 3, 3, 5)).astype(dtype)
+        want = legacy_exact(x, w, alpha=8, dtype=dtype)
+        got = runtime.convolve(x, w, alpha=8, dtype=dtype)
+        assert got.dtype == np.dtype(dtype)
+        np.testing.assert_array_equal(got, want)
+
+    def test_rect_filter_and_zero_padding(self, rng):
+        x = rng.standard_normal((2, 7, 19, 3)).astype(np.float32)
+        w = rng.standard_normal((5, 2, 3, 3)).astype(np.float32)
+        np.testing.assert_array_equal(
+            runtime.convolve(x, w, alpha=8), legacy_exact(x, w, alpha=8)
+        )
+        np.testing.assert_array_equal(
+            runtime.convolve(x, w, ph=0, pw=0, alpha=8),
+            legacy_exact(x, w, ph=0, pw=0, alpha=8),
+        )
+
+    def test_default_path_routes_through_runtime(self, rng):
+        """``conv2d_im2col_winograd`` without ``legacy=True`` hits the cache."""
+        x = rng.standard_normal((1, 6, 17, 4)).astype(np.float32)
+        w = rng.standard_normal((3, 3, 3, 4)).astype(np.float32)
+        before = cache_stats().misses
+        got = conv2d_im2col_winograd(x, w)
+        assert cache_stats().misses == before + 1
+        np.testing.assert_array_equal(got, legacy_exact(x, w))
+
+    def test_validation_errors_match_legacy(self, rng):
+        x = rng.standard_normal((1, 6, 17, 4)).astype(np.float32)
+        w = rng.standard_normal((3, 3, 3, 5)).astype(np.float32)
+        with pytest.raises(ValueError, match="channel"):
+            runtime.convolve(x, w)
+        with pytest.raises(ValueError, match="4D"):
+            runtime.convolve(x[0], w)
+
+
+class TestPlanCache:
+    def test_hit_on_repeat(self, rng):
+        x = rng.standard_normal((1, 5, 13, 3)).astype(np.float32)
+        w = rng.standard_normal((2, 3, 3, 3)).astype(np.float32)
+        runtime.convolve(x, w)
+        runtime.convolve(x, w)
+        s = cache_stats()
+        assert (s.misses, s.hits, s.size) == (1, 1, 1)
+        assert s.hit_rate == pytest.approx(0.5)
+
+    def test_miss_on_new_signature(self, rng):
+        w = rng.standard_normal((2, 3, 3, 3)).astype(np.float32)
+        for iw in (12, 13, 14):
+            x = rng.standard_normal((1, 5, iw, 3)).astype(np.float32)
+            runtime.convolve(x, w)
+        s = cache_stats()
+        assert (s.misses, s.hits) == (3, 0)
+
+    def test_bounded_eviction(self, rng):
+        configure(cache_capacity=2)
+        w = rng.standard_normal((2, 3, 3, 3)).astype(np.float32)
+        for iw in (12, 13, 14):
+            x = rng.standard_normal((1, 5, iw, 3)).astype(np.float32)
+            runtime.convolve(x, w)
+        s = cache_stats()
+        assert s.evictions >= 1
+        assert len(global_cache()) <= 2
+        # The evicted signature recompiles (a fresh miss), correctly.
+        x = rng.standard_normal((1, 5, 12, 3)).astype(np.float32)
+        np.testing.assert_array_equal(runtime.convolve(x, w), legacy_exact(x, w))
+
+    def test_cache_hits_observable_via_obs(self, rng):
+        obs.disable()
+        obs.reset()
+        obs.get_registry().reset()
+        try:
+            obs.enable()
+            x = rng.standard_normal((1, 5, 13, 3)).astype(np.float32)
+            w = rng.standard_normal((2, 3, 3, 3)).astype(np.float32)
+            runtime.convolve(x, w)
+            runtime.convolve(x, w)
+            reg = obs.get_registry()
+            assert reg.counter("runtime.cache.misses").total() == 1
+            assert reg.counter("runtime.cache.hits").total() == 1
+        finally:
+            obs.disable()
+            obs.reset()
+            obs.get_registry().reset()
+
+
+class TestFilterCache:
+    def _exe(self, x, w):
+        sig = ConvSignature.for_operands(x, w)
+        return runtime.get_executable(sig)
+
+    def test_repeat_weights_reuse_transforms(self, rng):
+        x = rng.standard_normal((1, 5, 13, 3)).astype(np.float32)
+        w = rng.standard_normal((2, 3, 3, 3)).astype(np.float32)
+        exe = self._exe(x, w)
+        exe(x, w)
+        exe(x, w)
+        assert exe.cached_filter_versions == 1
+
+    def test_inplace_mutation_is_a_miss(self, rng):
+        """Content hashing notices optimizers mutating ``w.data`` in place."""
+        x = rng.standard_normal((1, 5, 13, 3)).astype(np.float32)
+        w = rng.standard_normal((2, 3, 3, 3)).astype(np.float32)
+        exe = self._exe(x, w)
+        exe(x, w)
+        w *= 0.5  # in place: same array object, new contents
+        got = exe(x, w)
+        assert exe.cached_filter_versions == 2
+        np.testing.assert_array_equal(got, legacy_exact(x, w))
+
+    def test_version_token_skips_hashing(self, rng):
+        x = rng.standard_normal((1, 5, 13, 3)).astype(np.float32)
+        w = rng.standard_normal((2, 3, 3, 3)).astype(np.float32)
+        exe = self._exe(x, w)
+        y1 = exe(x, w, version=7)
+        y2 = exe(x, w, version=7)
+        assert exe.cached_filter_versions == 1
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_filter_cache_is_bounded(self, rng):
+        x = rng.standard_normal((1, 5, 13, 3)).astype(np.float32)
+        exe = self._exe(x, np.zeros((2, 3, 3, 3), np.float32))
+        for step in range(FILTER_CACHE_SLOTS + 2):
+            w = rng.standard_normal((2, 3, 3, 3)).astype(np.float32)
+            exe(x, w, version=step)
+        assert exe.cached_filter_versions <= FILTER_CACHE_SLOTS
+
+
+class TestDispatchNeutrality:
+    """Threads and workspace chunking never change the bits."""
+
+    def test_batch_chunking_bit_identical(self, rng):
+        x = rng.standard_normal((5, 6, 20, 4)).astype(np.float32)
+        w = rng.standard_normal((3, 3, 3, 4)).astype(np.float32)
+        want = runtime.convolve(x, w)
+        tiny = ExecutionConfig(threads=0, workspace_bytes=1 << 14)
+        np.testing.assert_array_equal(runtime.convolve(x, w, config=tiny), want)
+
+    def test_thread_pool_bit_identical(self, rng):
+        x = rng.standard_normal((5, 6, 20, 4)).astype(np.float32)
+        w = rng.standard_normal((3, 3, 3, 4)).astype(np.float32)
+        want = runtime.convolve(x, w)
+        pooled = ExecutionConfig(threads=2, workspace_bytes=1 << 14)
+        try:
+            for _ in range(3):  # repeat: scheduling order must not matter
+                np.testing.assert_array_equal(
+                    runtime.convolve(x, w, config=pooled), want
+                )
+        finally:
+            pooled.shutdown()
+
+
+class TestStaticAnalysisOfCachedPlans:
+    def test_cached_plans_pass_strict_analysis(self, rng):
+        """Every plan the runtime compiles is clean under ``--strict``."""
+        w64 = rng.standard_normal((64, 3, 3, 64)).astype(np.float32)
+        cases = [
+            (rng.standard_normal((1, 5, 23, 3)).astype(np.float32),
+             rng.standard_normal((4, 3, 3, 3)).astype(np.float32), {}),
+            (rng.standard_normal((1, 4, 16, 64)).astype(np.float32), w64,
+             {"alpha": 8}),
+            (rng.standard_normal((1, 4, 30, 64)).astype(np.float32), w64,
+             {"alpha": 16, "variant": "c64"}),
+        ]
+        for x, w, kw in cases:
+            runtime.convolve(x, w, **kw)
+        exes = global_cache().executables()
+        assert len(exes) == len(cases)
+        for exe in exes:
+            report = analyze_plan(exe.plan)
+            assert report.errors == [], f"{exe.plan.reason}: {report.errors}"
+            assert report.warnings == [], f"{exe.plan.reason}: {report.warnings}"
+
+
+class TestGemmStripViews:
+    def test_interior_strip_is_a_view(self, rng):
+        x = rng.standard_normal((2, 4, 20, 3)).astype(np.float32)
+        strip = gemm_input_strip(x, 10, 4, pw=1, fw=3)
+        assert np.shares_memory(strip, x)
+        np.testing.assert_array_equal(strip, x[:, :, 9:15, :])
+
+    def test_edge_strip_copies_with_zero_padding(self, rng):
+        x = rng.standard_normal((2, 4, 20, 3)).astype(np.float32)
+        strip = gemm_input_strip(x, 0, 4, pw=1, fw=3)
+        assert not np.shares_memory(strip, x)
+        assert np.all(strip[:, :, 0, :] == 0)  # the implicit left pad column
+        np.testing.assert_array_equal(strip[:, :, 1:, :], x[:, :, :5, :])
+
+
+class TestSegmentValidation:
+    def test_mats_dtype_mismatch_raises(self, rng):
+        x = rng.standard_normal((1, 7, 18, 3)).astype(np.float32)
+        w = rng.standard_normal((2, 3, 3, 3)).astype(np.float32)
+        seg = Segment(kernel=get_kernel(8, 3), start=0, width=18)
+        mats = winograd_matrices(6, 3, dtype="float64")
+        with pytest.raises(ValueError, match="mats dtype"):
+            winograd_segment(x, w, seg, ph=1, pw=1, oh=7, mats=mats)
+        # The matching dtype (or none at all) is accepted.
+        a = winograd_segment(x, w, seg, ph=1, pw=1, oh=7, mats=mats.as_dtype(x.dtype))
+        b = winograd_segment(x, w, seg, ph=1, pw=1, oh=7)
+        np.testing.assert_array_equal(a, b)
