@@ -86,17 +86,19 @@ def conv2d_im2col_winograd(
     dtype:
         Computation dtype (``float32`` matches the paper's kernels).
     block_ic:
-        Channel block depth of the accumulation loop (interpreted path only;
-        the compiled runtime accumulates the full channel depth in one fused
-        contraction, which coincides with ``block_ic >= IC``).
+        Channel block depth of the accumulation loop, honoured bit-for-bit
+        on both paths (the compiled runtime replays the same blocked gemm
+        sequence).  ``block_ic >= IC`` fuses the full channel depth into
+        one contraction — the fastest runtime setting.
     legacy:
         ``False`` (default) resolves the call through the compiled-plan
         runtime (:mod:`repro.runtime`): cached boundary plan, transform
         matrices, filter transforms and einsum paths, with the Winograd
-        stage run as a single fh-fused contraction per segment.  ``True``
+        stage gathered and input-transformed once per segment.  ``True``
         forces the original interpreted path (re-planned per call, explicit
         per-``(fh, block_ic)`` accumulation loop) — the reference the
-        runtime is tested bit-identical against.
+        runtime is tested bit-identical against.  Both paths produce the
+        same bits at the same ``block_ic``.
 
     Returns
     -------
@@ -105,7 +107,10 @@ def conv2d_im2col_winograd(
     if not legacy:
         from ..runtime import convolve  # lazy: runtime imports core at load
 
-        return convolve(x, w, ph=ph, pw=pw, alpha=alpha, variant=variant, dtype=dtype)
+        return convolve(
+            x, w, ph=ph, pw=pw, alpha=alpha, variant=variant, dtype=dtype,
+            block_ic=block_ic,
+        )
     if x.ndim != 4 or w.ndim != 4:
         raise ValueError(f"expected 4D x and w, got ndim {x.ndim} and {w.ndim}")
     if x.shape[3] != w.shape[3]:

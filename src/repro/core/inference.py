@@ -57,8 +57,9 @@ class PlannedConv2D:
     dtype:
         Computation dtype.
     block_ic:
-        Accepted for API compatibility; the compiled runtime accumulates the
-        full channel depth in one fused contraction.
+        Channel block depth of the accumulation loop, honoured bit-for-bit
+        by the compiled runtime (same default and same gemm order as
+        :func:`~repro.core.fused.conv2d_im2col_winograd`).
     """
 
     def __init__(
@@ -132,4 +133,4 @@ class PlannedConv2D:
             ph=self.ph, pw=self.pw, alpha=self.alpha, variant=self.variant,
             dtype=self.w.dtype,
         )
-        return get_executable(sig)(x, bundle=self._bundle)
+        return get_executable(sig)(x, bundle=self._bundle, block_ic=self.block_ic)

@@ -23,6 +23,7 @@ the module-level helpers (:func:`counter_add`, :func:`gauge_set`,
 from __future__ import annotations
 
 import json
+import threading
 from typing import Any, Iterator
 
 from .tracer import enabled
@@ -75,19 +76,26 @@ class _Metric:
 
 
 class Counter(_Metric):
-    """Monotonic total per label set."""
+    """Monotonic total per label set.
+
+    Increments are lock-guarded: the runtime's opt-in thread pool calls
+    :func:`counter_add` from worker threads, and an unguarded
+    read-modify-write would silently drop concurrent increments.
+    """
 
     kind = "counter"
 
     def __init__(self, name: str, help: str = "") -> None:
         super().__init__(name, help)
         self._values: dict[LabelKey, float] = {}
+        self._lock = threading.Lock()
 
     def inc(self, value: float = 1.0, **labels: Any) -> None:
         if value < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease (got {value})")
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0.0) + value
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + value
 
     def value(self, **labels: Any) -> float:
         """Value for one label set (0 if never incremented)."""
@@ -121,24 +129,30 @@ class Gauge(_Metric):
 
 
 class Histogram(_Metric):
-    """Streaming summary (count/sum/min/max/mean) per label set."""
+    """Streaming summary (count/sum/min/max/mean) per label set.
+
+    Observations are lock-guarded for the same reason as :class:`Counter`:
+    samples may arrive from the runtime's pooled worker threads.
+    """
 
     kind = "histogram"
 
     def __init__(self, name: str, help: str = "") -> None:
         super().__init__(name, help)
         self._values: dict[LabelKey, dict[str, float]] = {}
+        self._lock = threading.Lock()
 
     def observe(self, value: float, **labels: Any) -> None:
         key = _label_key(labels)
-        s = self._values.get(key)
-        if s is None:
-            self._values[key] = {"count": 1, "sum": value, "min": value, "max": value}
-        else:
-            s["count"] += 1
-            s["sum"] += value
-            s["min"] = min(s["min"], value)
-            s["max"] = max(s["max"], value)
+        with self._lock:
+            s = self._values.get(key)
+            if s is None:
+                self._values[key] = {"count": 1, "sum": value, "min": value, "max": value}
+            else:
+                s["count"] += 1
+                s["sum"] += value
+                s["min"] = min(s["min"], value)
+                s["max"] = max(s["max"], value)
 
     def summary(self, **labels: Any) -> dict[str, float] | None:
         s = self._values.get(_label_key(labels))

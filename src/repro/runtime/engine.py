@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.fused import DEFAULT_BLOCK_IC
 from .cache import get_executable, global_cache
 from .executable import FilterBundle
 from .signature import ConvSignature
@@ -107,6 +108,7 @@ def convolve(
     alpha: int | None = None,
     variant: str = "base",
     dtype: np.dtype | type | str = np.float32,
+    block_ic: int | None = DEFAULT_BLOCK_IC,
     version: object = None,
     bundle: FilterBundle | None = None,
     config: ExecutionConfig | None = None,
@@ -114,13 +116,18 @@ def convolve(
     """Unit-stride conv through the compiled-plan runtime.
 
     Drop-in equivalent of
-    :func:`repro.core.fused.conv2d_im2col_winograd` (bit-identical outputs,
-    identical validation errors); ``version`` optionally names the weight
-    version to key the filter-transform cache without content hashing, and
-    ``bundle`` supplies pre-resolved filter operands (frozen inference).
+    :func:`repro.core.fused.conv2d_im2col_winograd` (bit-identical outputs
+    at the same ``block_ic``, identical validation errors).  ``block_ic``
+    is honoured exactly as in the interpreted path — the default matches
+    the legacy default, so unmodified callers keep bit-identical results;
+    ``block_ic=None`` accumulates the full channel depth in one fh-fused
+    contraction (the fastest setting, identical to ``block_ic >= IC``).
+    ``version`` optionally names the weight version to key the
+    filter-transform cache without content hashing, and ``bundle`` supplies
+    pre-resolved filter operands (frozen inference).
     """
     sig = ConvSignature.for_operands(
         x, w, ph=ph, pw=pw, alpha=alpha, variant=variant, dtype=dtype
     )
     exe = get_executable(sig)
-    return exe(x, w, version=version, bundle=bundle, config=config)
+    return exe(x, w, version=version, bundle=bundle, config=config, block_ic=block_ic)

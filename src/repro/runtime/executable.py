@@ -19,14 +19,18 @@ re-derives on each call:
   (layout ``(alpha, FH, IC, OC)``, ready for the fh-fused batched matmul)
   and of the folded GEMM-tail operand.
 
-Execution then runs the Winograd stage as a single *fh-fused* contraction
-per segment: all ``FH`` filter rows are gathered as one strided view, the
-input transform is one tensordot, and the transform-domain products land in
-the ``alpha``-state accumulator through one ``(alpha·FH)``-batched matmul
-followed by an in-order reduction over ``fh`` — bit-identical accumulation
-order to the legacy per-``fh`` loop (asserted across the registry in
-``tests/test_runtime.py``), with none of its per-block
-``ascontiguousarray`` copies or Python-loop overhead.
+Execution gathers all ``FH`` filter rows as one strided view and runs the
+input transform as one tensordot per segment.  The transform-domain
+accumulation honours the caller's channel blocking ``block_ic`` (default
+:data:`~repro.core.fused.DEFAULT_BLOCK_IC`, exactly the interpreted path's
+default): with ``block_ic >= IC`` (or ``None``) the products land in the
+``alpha``-state accumulator through one ``(alpha·FH)``-batched matmul
+followed by an in-order reduction over ``fh``; with smaller blocks the
+legacy loop's (``fh``-major, block-minor) gemm sequence is replayed with
+identical operand shapes.  Either way the accumulation order — and hence
+every output bit — matches the legacy path at the same ``block_ic``
+(asserted across the registry in ``tests/test_runtime.py``), with none of
+its per-block ``ascontiguousarray`` copies or per-call planning overhead.
 
 Large batches are processed in bounded workspace chunks; an opt-in thread
 pool (see :class:`~repro.runtime.engine.ExecutionConfig`) dispatches chunks
@@ -36,6 +40,7 @@ arithmetic, so threaded results stay bit-identical to serial ones.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -44,7 +49,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable
 import numpy as np
 
 from ..core.boundary import Segment, plan_width_segments
-from ..core.fused import gemm_input_strip
+from ..core.fused import DEFAULT_BLOCK_IC, gemm_input_strip
 from ..core.kernels import get_kernel
 from ..core.planner import ConvPlan
 from ..core.transforms import TransformMatrices, winograd_matrices
@@ -228,9 +233,15 @@ class ConvExecutable:
     # -- filter-transform cache (weight-version keyed) ---------------------
 
     def weight_token(self, w: np.ndarray) -> object:
-        """Content token of ``w``: exact, cheap relative to the transform."""
+        """Content token of ``w``: exact, cheap relative to the transform.
+
+        A real digest (not Python's salted, truncated ``hash``): collisions
+        here would silently serve a stale filter transform, and the token
+        must be stable across processes so it can be persisted or compared
+        between runs.
+        """
         w = np.asarray(w, dtype=self.dtype)
-        return ("h", w.shape, hash(w.tobytes()))
+        return ("h", w.shape, hashlib.sha1(w.tobytes()).digest())
 
     def filter_bundle(self, w: np.ndarray, *, version: object = None) -> FilterBundle:
         """Pre-transformed operands for ``w``, cached by weight version.
@@ -286,15 +297,21 @@ class ConvExecutable:
         version: object = None,
         bundle: FilterBundle | None = None,
         config: "ExecutionConfig | None" = None,
+        block_ic: int | None = DEFAULT_BLOCK_IC,
     ) -> np.ndarray:
         """Run the compiled convolution on ``x`` (any batch size).
 
         Either ``w`` (filters, resolved through the weight-version cache) or
-        a pre-resolved ``bundle`` must be provided.
+        a pre-resolved ``bundle`` must be provided.  ``block_ic`` is the
+        channel block depth of the transform-domain accumulation, honoured
+        bit-for-bit as in the interpreted path (``None`` accumulates the
+        full depth in one fh-fused contraction, the fastest setting).
         """
         from .engine import default_config
 
         cfg = config if config is not None else default_config()
+        if block_ic is not None and block_ic < 1:
+            raise ValueError(f"block_ic must be >= 1 or None, got {block_ic}")
         sig = self.sig
         x = np.asarray(x, dtype=self.dtype)
         if x.ndim != 4:
@@ -346,10 +363,14 @@ class ConvExecutable:
             if cfg.threads > 1 and len(tasks) > 1:
                 get_bundle()  # resolve once, outside the pool
                 pool = cfg.pool()
-                list(pool.map(lambda t: self._run_task(t, x, y, get_bundle), tasks))
+                list(
+                    pool.map(
+                        lambda t: self._run_task(t, x, y, get_bundle, block_ic), tasks
+                    )
+                )
             else:
                 for task in tasks:
-                    self._run_task(task, x, y, get_bundle)
+                    self._run_task(task, x, y, get_bundle, block_ic)
         return y
 
     def _tasks(self, batch: int, cfg: "ExecutionConfig") -> list[_Task]:
@@ -382,12 +403,13 @@ class ConvExecutable:
         x: np.ndarray,
         y: np.ndarray,
         get_bundle: Callable[[], FilterBundle],
+        block_ic: int | None,
     ) -> None:
         st = task.state
         if isinstance(st, _GemmSegment):
             self._run_gemm(st, x, y, get_bundle, task)
         else:
-            self._run_winograd(st, x, y, get_bundle, task)
+            self._run_winograd(st, x, y, get_bundle, task, block_ic)
 
     def _run_winograd(
         self,
@@ -396,6 +418,7 @@ class ConvExecutable:
         y: np.ndarray,
         get_bundle: Callable[[], FilterBundle],
         task: _Task,
+        block_ic: int | None,
     ) -> None:
         sig = self.sig
         seg = st.seg
@@ -446,11 +469,22 @@ class ConvExecutable:
                     strides=(sn, sh, sw * st.n, sw, sc),
                     writeable=False,
                 )
-                counter_add("gather.calls", fh)
-                counter_add(
-                    "gather.bytes",
-                    fh * nc * self.oh * num_tiles * alpha * ic * self.dtype.itemsize,
-                )
+                if task.first_chunk:
+                    # Logical gather volume for the whole segment (all FH
+                    # rows, full batch) — gated like the winograd.* counters
+                    # so the totals match the legacy path and do not drift
+                    # with workspace/thread chunking.
+                    counter_add("gather.calls", fh)
+                    counter_add(
+                        "gather.bytes",
+                        fh
+                        * x.shape[0]
+                        * self.oh
+                        * num_tiles
+                        * alpha
+                        * ic
+                        * self.dtype.itemsize,
+                    )
             with span("transform.input", kernel=st.kernel_name):
                 # VR[k, n, row, t, c] = sum_a DT[k, a] row_tiles[n, row, t, a, c]
                 # — a dot over ``a`` per element, bit-identical to the
@@ -470,14 +504,27 @@ class ConvExecutable:
                 )
                 m_rows = nc * self.oh * num_tiles
                 v = np.ascontiguousarray(v).reshape(alpha, fh, m_rows, ic)
-            with span("accumulate", kernel=st.kernel_name):
-                # The fh-fused (alpha*FH)-batched matmul, then an in-order
-                # reduction over fh into the alpha-state accumulator —
-                # exactly the legacy loop's accumulation order.
-                p = np.matmul(v, u)  # (alpha, FH, M, OC)
+            block = ic if block_ic is None else min(block_ic, ic)
+            with span("accumulate", kernel=st.kernel_name, block_ic=block):
                 m = np.zeros((alpha, m_rows, oc), dtype=self.dtype)
-                for f in range(fh):
-                    m += p[:, f]
+                if block >= ic:
+                    # The fh-fused (alpha*FH)-batched matmul, then an
+                    # in-order reduction over fh into the alpha-state
+                    # accumulator — exactly the legacy loop's accumulation
+                    # order at block_ic >= IC.
+                    p = np.matmul(v, u)  # (alpha, FH, M, OC)
+                    for f in range(fh):
+                        m += p[:, f]
+                else:
+                    # Channel-blocked accumulation replaying the legacy
+                    # loop's (fh-major, block-minor) gemm sequence with
+                    # identical per-gemm operand shapes, hence identical
+                    # bits at the same block_ic.
+                    for f in range(fh):
+                        vf, uf = v[:, f], u[:, f]
+                        for c0 in range(0, ic, block):
+                            c1 = min(c0 + block, ic)
+                            m += np.matmul(vf[:, :, c0:c1], uf[:, c0:c1, :])
             with span("transform.output", kernel=st.kernel_name):
                 out = self._einsum("jk,kmo->mjo", mats.AT, m)
             y[n0:n1, :, seg.start : seg.start + seg.width, :] = out.reshape(

@@ -215,3 +215,50 @@ class TestInstrumentedPipeline:
             reg.counter("smem.ideal_phases").value(stage="iteration", alpha=8)
             == result.ideal_phases
         )
+
+
+class TestMetricsThreadSafety:
+    """The runtime's pooled dispatch increments counters and records
+    histogram samples from worker threads; the read-modify-write updates
+    must not lose increments."""
+
+    def test_concurrent_counter_increments_are_not_lost(self):
+        import threading
+
+        from repro.obs.metrics import Counter
+
+        c = Counter("t.counter")
+        threads_n, per_thread = 8, 5000
+
+        def worker():
+            for _ in range(per_thread):
+                c.inc(1.0, kernel="k")
+
+        threads = [threading.Thread(target=worker) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value(kernel="k") == threads_n * per_thread
+
+    def test_concurrent_histogram_observations_are_not_lost(self):
+        import threading
+
+        from repro.obs.metrics import Histogram
+
+        h = Histogram("t.hist")
+        threads_n, per_thread = 8, 5000
+
+        def worker():
+            for _ in range(per_thread):
+                h.observe(2.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        s = h.summary()
+        assert s is not None
+        assert s["count"] == threads_n * per_thread
+        assert s["sum"] == 2.0 * threads_n * per_thread

@@ -2,12 +2,12 @@
 
 The contract under test is the one the runtime ships on: **bit-identical**
 outputs to the legacy interpreted path (``conv2d_im2col_winograd`` with
-``legacy=True`` and ``block_ic >= IC`` — the runtime accumulates the full
-channel depth in one fh-fused contraction), cuDNN-style plan-cache
-behaviour (hit on repeat, miss on new signature, bounded eviction), a
-content-keyed filter-transform cache that notices in-place weight
-mutation, and arithmetic-neutral dispatch knobs (threads / workspace
-chunking change scheduling, never bits).
+``legacy=True``) at the same channel blocking — including the shared
+default ``block_ic``, so the default path's bits never changed across the
+runtime switch — cuDNN-style plan-cache behaviour (hit on repeat, miss on
+new signature, bounded eviction), a content-keyed filter-transform cache
+that notices in-place weight mutation, and arithmetic-neutral dispatch
+knobs (threads / workspace chunking change scheduling, never bits).
 """
 
 from __future__ import annotations
@@ -41,7 +41,7 @@ def _fresh_runtime():
 
 
 def legacy_exact(x: np.ndarray, w: np.ndarray, **kw) -> np.ndarray:
-    """The legacy path in the channel-blocking regime the runtime matches."""
+    """The legacy path at full channel depth (== default for IC <= 64)."""
     return conv2d_im2col_winograd(x, w, legacy=True, block_ic=w.shape[3], **kw)
 
 
@@ -103,6 +103,55 @@ class TestBitIdenticalEquivalence:
         got = conv2d_im2col_winograd(x, w)
         assert cache_stats().misses == before + 1
         np.testing.assert_array_equal(got, legacy_exact(x, w))
+
+    def test_default_block_ic_matches_legacy_default_for_deep_channels(self, rng):
+        """IC > DEFAULT_BLOCK_IC: the default path replays the legacy 64-wide
+        channel blocking, so the main entry point's bits never changed."""
+        x = rng.standard_normal((1, 6, 19, 96)).astype(np.float32)
+        w = rng.standard_normal((5, 3, 3, 96)).astype(np.float32)
+        want = conv2d_im2col_winograd(x, w, legacy=True)  # legacy defaults
+        got = conv2d_im2col_winograd(x, w)  # runtime defaults
+        np.testing.assert_array_equal(got, want)
+        # ... and those bits differ from the full-depth fused accumulation,
+        # i.e. the blocking is load-bearing, not vacuous, at this IC.
+        fused = runtime.convolve(x, w, block_ic=None)
+        assert not np.array_equal(fused, want)
+
+    @pytest.mark.parametrize("block_ic", [1, 7, 8, 20, 64])
+    def test_explicit_block_ic_honoured(self, rng, block_ic):
+        """A caller-passed block_ic reaches the runtime accumulation loop."""
+        x = rng.standard_normal((2, 5, 17, 20)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 20)).astype(np.float32)
+        want = conv2d_im2col_winograd(x, w, legacy=True, block_ic=block_ic)
+        got = conv2d_im2col_winograd(x, w, block_ic=block_ic)
+        np.testing.assert_array_equal(got, want)
+
+    def test_block_ic_none_is_full_depth(self, rng):
+        x = rng.standard_normal((1, 5, 17, 24)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 24)).astype(np.float32)
+        np.testing.assert_array_equal(
+            runtime.convolve(x, w, block_ic=None), legacy_exact(x, w)
+        )
+
+    def test_invalid_block_ic_raises(self, rng):
+        x = rng.standard_normal((1, 5, 13, 3)).astype(np.float32)
+        w = rng.standard_normal((2, 3, 3, 3)).astype(np.float32)
+        with pytest.raises(ValueError, match="block_ic"):
+            runtime.convolve(x, w, block_ic=0)
+
+    def test_planned_conv2d_honours_block_ic(self, rng):
+        """The frozen-inference wrapper keeps its legacy channel blocking."""
+        from repro.core.inference import PlannedConv2D
+
+        x = rng.standard_normal((1, 6, 19, 96)).astype(np.float32)
+        w = rng.standard_normal((5, 3, 3, 96)).astype(np.float32)
+        np.testing.assert_array_equal(
+            PlannedConv2D(w, 19)(x), conv2d_im2col_winograd(x, w, legacy=True)
+        )
+        np.testing.assert_array_equal(
+            PlannedConv2D(w, 19, block_ic=8)(x),
+            conv2d_im2col_winograd(x, w, legacy=True, block_ic=8),
+        )
 
     def test_validation_errors_match_legacy(self, rng):
         x = rng.standard_normal((1, 6, 17, 4)).astype(np.float32)
@@ -204,6 +253,21 @@ class TestFilterCache:
             exe(x, w, version=step)
         assert exe.cached_filter_versions <= FILTER_CACHE_SLOTS
 
+    def test_weight_token_is_a_real_digest(self, rng):
+        """Content tokens are collision-resistant and process-stable (sha1),
+        not Python's salted/truncated ``hash`` — a collision would silently
+        serve a stale filter transform."""
+        import hashlib
+
+        x = rng.standard_normal((1, 5, 13, 3)).astype(np.float32)
+        w = rng.standard_normal((2, 3, 3, 3)).astype(np.float32)
+        exe = self._exe(x, w)
+        token = exe.weight_token(w)
+        assert token == exe.weight_token(w.copy())
+        assert token != exe.weight_token(w * 0.5)
+        # Reproducible from the bytes alone, independent of PYTHONHASHSEED.
+        assert token[-1] == hashlib.sha1(w.tobytes()).digest()
+
 
 class TestDispatchNeutrality:
     """Threads and workspace chunking never change the bits."""
@@ -227,6 +291,27 @@ class TestDispatchNeutrality:
                 )
         finally:
             pooled.shutdown()
+
+    def test_counters_invariant_under_chunking_and_match_legacy(self, rng):
+        """gather.* / winograd.* totals describe the *logical* work, so they
+        must not drift with workspace chunking — and must equal what the
+        legacy interpreted path reports for the same convolution."""
+        x = rng.standard_normal((6, 6, 20, 4)).astype(np.float32)
+        w = rng.standard_normal((3, 3, 3, 4)).astype(np.float32)
+        names = ["gather.calls", "gather.bytes", "winograd.segments", "winograd.tiles"]
+
+        def totals(fn):
+            with obs.capture(fresh=True):
+                fn()
+                reg = obs.get_registry()
+                return {n: reg.counter(n).total() for n in names}
+
+        legacy = totals(lambda: conv2d_im2col_winograd(x, w, legacy=True))
+        one_chunk = totals(lambda: runtime.convolve(x, w))
+        tiny = ExecutionConfig(threads=0, workspace_bytes=1 << 12)
+        many_chunks = totals(lambda: runtime.convolve(x, w, config=tiny))
+        assert one_chunk == legacy
+        assert many_chunks == legacy
 
 
 class TestStaticAnalysisOfCachedPlans:
