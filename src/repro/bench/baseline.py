@@ -35,9 +35,19 @@ Suites
     ``speedup``/``bit_identical`` floors (1.0), so the CI gate reads "fused
     not slower than legacy, outputs bit-identical" without pinning absolute
     times to one machine.
+``serve-smoke``
+    *Measured* end-to-end serving throughput: a closed-loop load against
+    :mod:`repro.serve` with dynamic batching (``max_batch_size=8``) vs the
+    same request set served one-at-a-time (``max_batch_size=1``), plus
+    p50/p99 latency, the batch-size histogram, and a ``bit_identical``
+    flag comparing every batched response against its serial twin.  The
+    committed ``BENCH_serve_gate.json`` pins only the machine-independent
+    floors (``batch_speedup`` >= 2, ``bit_identical`` == 1), so the CI
+    gate reads "dynamic batching at least doubles throughput without
+    changing a single bit".
 ``full``
-    Union of all of the above (modeled suites; wall-clock is captured
-    separately since it is machine-dependent).
+    Union of all of the above (modeled suites; wall-clock and serving are
+    captured separately since they are machine-dependent).
 
 CLI::
 
@@ -368,6 +378,78 @@ def _wallclock_metrics(
     return out
 
 
+#: serve-smoke load shape: enough requests for several full batches, small
+#: enough for CI.  Concurrency 16 keeps the 8-row buckets saturated.
+SERVE_SMOKE_REQUESTS = 48
+SERVE_SMOKE_MAX_BATCH = 8
+SERVE_SMOKE_CONCURRENCY = 16
+
+
+def _serve_metrics() -> dict[str, float]:
+    """Measured dynamic-batching vs serial serving on resnet18 (w=0.125).
+
+    Two closed loops over the *same* deterministic request set (payloads
+    seeded per request id): one through the dynamic batcher, one with
+    ``max_batch_size=1`` — the serving twin of the wallclock suite's
+    fused-vs-legacy comparison.  ``batch_speedup`` is the throughput ratio
+    and ``bit_identical`` asserts every batched response equals its serial
+    counterpart exactly (the ``MIN_EXECUTE_ROWS`` padding contract).
+    """
+    import asyncio
+
+    import numpy as np
+
+    from ..serve import BatchPolicy, InferenceService, SchedulerConfig, closed_loop
+
+    async def run(max_batch: int, concurrency: int):
+        service = InferenceService(
+            config=SchedulerConfig(
+                policy=BatchPolicy(max_batch_size=max_batch, max_queue_delay_ms=2.0),
+                default_timeout_ms=None,
+            )
+        )
+        service.registry.register("resnet18", width_mult=0.125)
+        async with service:
+            return await closed_loop(
+                service,
+                "resnet18",
+                requests=SERVE_SMOKE_REQUESTS,
+                concurrency=concurrency,
+                collect_outputs=True,
+            )
+
+    batched = asyncio.run(run(SERVE_SMOKE_MAX_BATCH, SERVE_SMOKE_CONCURRENCY))
+    serial = asyncio.run(run(1, 1))
+    if batched.errors or serial.errors:
+        raise RuntimeError(
+            f"serve-smoke runs must complete cleanly, got errors "
+            f"batched={batched.errors} serial={serial.errors}"
+        )
+    bit_identical = float(
+        batched.outputs.keys() == serial.outputs.keys()
+        and all(
+            np.array_equal(batched.outputs[rid], serial.outputs[rid])
+            for rid in batched.outputs
+        )
+    )
+    out: dict[str, float] = {}
+    for label, result in (("batched", batched), ("serial", serial)):
+        prefix = f"serve/resnet18/{label}"
+        out[f"{prefix}.requests_per_sec"] = result.requests_per_sec
+        out[f"{prefix}.p50.time_ms"] = result.latency_ms(50)
+        out[f"{prefix}.p99.time_ms"] = result.latency_ms(99)
+        out[f"{prefix}.mean_batch_size"] = result.mean_batch_size
+        for size, count in sorted(result.batch_size_histogram.items()):
+            out[f"{prefix}.batch_hist.{size}"] = float(count)
+    out["serve/resnet18/batch_speedup"] = (
+        batched.requests_per_sec / serial.requests_per_sec
+        if serial.requests_per_sec
+        else 0.0
+    )
+    out["serve/resnet18/bit_identical"] = bit_identical
+    return out
+
+
 SUITES = {
     "smoke": _smoke_metrics,
     "fig8": lambda: _figure_metrics("fig8"),
@@ -375,6 +457,7 @@ SUITES = {
     "table2": _table2_metrics,
     "wallclock": _wallclock_metrics,
     "wallclock-smoke": lambda: _wallclock_metrics(WALLCLOCK_SMOKE_INDICES),
+    "serve-smoke": _serve_metrics,
     "full": _full_metrics,
 }
 

@@ -30,7 +30,14 @@ from .cache import (
     get_executable,
     global_cache,
 )
-from .engine import ExecutionConfig, configure, convolve, default_config
+from .engine import (
+    ExecutionConfig,
+    configure,
+    convolve,
+    default_config,
+    force_legacy,
+    legacy_forced,
+)
 from .executable import ConvExecutable, FilterBundle, build_filter_bundle
 from .signature import ConvSignature
 
@@ -47,6 +54,8 @@ __all__ = [
     "configure",
     "convolve",
     "default_config",
+    "force_legacy",
     "get_executable",
     "global_cache",
+    "legacy_forced",
 ]

@@ -68,18 +68,32 @@ class ExecutableCache:
 
     @property
     def capacity(self) -> int:
-        return self._capacity
+        # Under the lock: a plain attribute read would be atomic in CPython
+        # today, but admission logic comparing capacity against len() must
+        # not interleave with a concurrent resize's evict loop.
+        with self._lock:
+            return self._capacity
+
+    def _evict_over_capacity(self) -> None:
+        """Evict LRU entries past the bound.  Caller must hold the lock."""
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+            counter_add("runtime.cache.evictions")
 
     def resize(self, capacity: int) -> None:
-        """Change the bound, evicting LRU entries if shrinking."""
+        """Change the bound, evicting LRU entries if shrinking.
+
+        Safe to call while server workers are mid-:meth:`get`: the insert
+        path re-checks the bound under the same lock after its out-of-lock
+        compile, so a shrink can never be outrun by a racing insert, and
+        every eviction is counted exactly once.
+        """
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         with self._lock:
             self._capacity = capacity
-            while len(self._entries) > self._capacity:
-                self._entries.popitem(last=False)
-                self._evictions += 1
-                counter_add("runtime.cache.evictions")
+            self._evict_over_capacity()
 
     def get(self, sig: ConvSignature) -> ConvExecutable:
         """Return the executable for ``sig``, compiling it on first use."""
@@ -99,10 +113,7 @@ class ExecutableCache:
             counter_add("runtime.cache.misses")
             self._entries[sig] = exe
             self._entries.move_to_end(sig)
-            while len(self._entries) > self._capacity:
-                self._entries.popitem(last=False)
-                self._evictions += 1
-                counter_add("runtime.cache.evictions")
+            self._evict_over_capacity()
         return exe
 
     def stats(self) -> CacheStats:

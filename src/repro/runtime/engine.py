@@ -11,22 +11,39 @@ filter transforms are all reused across calls.
 the opt-in thread pool over (segment, batch-chunk) tasks for the training
 path, ``workspace_bytes`` bounds the per-chunk intermediate footprint.
 Both only change dispatch, never arithmetic — results stay bit-identical.
+
+:func:`force_legacy` is the serving layer's graceful-degradation hatch: a
+thread-local scope under which :func:`convolve` bypasses the compiled
+executable entirely and runs the interpreted reference path
+(``conv2d_im2col_winograd(..., legacy=True)``).  A server that catches an
+exception out of a compiled executable can replay the batch under this
+scope and still answer the request (bit-identical results, just slower).
 """
 
 from __future__ import annotations
 
+import contextlib
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
 from ..core.fused import DEFAULT_BLOCK_IC
+from ..obs import counter_add
 from .cache import get_executable, global_cache
 from .executable import FilterBundle
 from .signature import ConvSignature
 
-__all__ = ["ExecutionConfig", "configure", "convolve", "default_config"]
+__all__ = [
+    "ExecutionConfig",
+    "configure",
+    "convolve",
+    "default_config",
+    "force_legacy",
+    "legacy_forced",
+]
 
 #: Default bound on per-chunk intermediates (gathered region + V + P).  Large
 #: batches are split so the transform-domain workspace stays cache-friendly
@@ -56,19 +73,59 @@ class ExecutionConfig:
                 )
             return self._pool
 
-    def shutdown(self) -> None:
+    def shutdown(self, wait: bool = True) -> None:
+        """Release the worker pool.  Idempotent and teardown-safe.
+
+        Server teardown paths may call this more than once (scheduler stop
+        plus an ``atexit``/context-manager layer), possibly while another
+        thread is mid-dispatch.  A second call is a no-op; a dispatcher that
+        raced the shutdown and holds the now-closed pool falls back to
+        serial execution (see ``ConvExecutable.__call__``) rather than
+        failing the convolution.
+        """
         with self._pool_lock:
-            if self._pool is not None:
-                self._pool.shutdown(wait=True)
-                self._pool = None
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            # Outside the lock: wait=True joins workers, and a worker (or a
+            # racing dispatcher) calling pool()/shutdown() again must not
+            # deadlock against us.
+            pool.shutdown(wait=wait)
 
 
 _DEFAULT = ExecutionConfig()
+
+#: Thread-local degradation flag: set by :func:`force_legacy`, honoured by
+#: :func:`convolve`.  Thread-local (not process-wide) so a server degrading
+#: one batch does not slow the batches other workers are executing.
+_DEGRADED = threading.local()
 
 
 def default_config() -> ExecutionConfig:
     """The process-wide execution configuration."""
     return _DEFAULT
+
+
+def legacy_forced() -> bool:
+    """Whether the calling thread is inside a :func:`force_legacy` scope."""
+    return getattr(_DEGRADED, "on", False)
+
+
+@contextlib.contextmanager
+def force_legacy() -> Iterator[None]:
+    """Route this thread's :func:`convolve` calls through the legacy path.
+
+    The interpreted reference implementation shares no compiled state with
+    the runtime (no executable cache, no filter-transform cache, no pooled
+    dispatch), so it stays available even when a compiled executable is
+    failing — the serving layer's graceful-degradation contract.  Nestable
+    and exception-safe; counts ``runtime.degraded.calls`` per bypassed call.
+    """
+    prev = getattr(_DEGRADED, "on", False)
+    _DEGRADED.on = True
+    try:
+        yield
+    finally:
+        _DEGRADED.on = prev
 
 
 def configure(
@@ -125,7 +182,21 @@ def convolve(
     ``version`` optionally names the weight version to key the
     filter-transform cache without content hashing, and ``bundle`` supplies
     pre-resolved filter operands (frozen inference).
+
+    Inside a :func:`force_legacy` scope the call bypasses the compiled
+    executable and runs the interpreted reference path instead (same bits,
+    none of the cached state) — the degradation hatch the serving layer
+    uses when a compiled executable raises.
     """
+    if legacy_forced():
+        from ..core.fused import conv2d_im2col_winograd  # lazy: import cycle
+
+        counter_add("runtime.degraded.calls")
+        return conv2d_im2col_winograd(
+            x, w, ph=ph, pw=pw, alpha=alpha, variant=variant, dtype=dtype,
+            block_ic=block_ic if block_ic is not None else int(w.shape[3]),
+            legacy=True,
+        )
     sig = ConvSignature.for_operands(
         x, w, ph=ph, pw=pw, alpha=alpha, variant=variant, dtype=dtype
     )

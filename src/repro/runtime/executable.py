@@ -362,16 +362,53 @@ class ConvExecutable:
             counter_add("runtime.exec.calls")
             if cfg.threads > 1 and len(tasks) > 1:
                 get_bundle()  # resolve once, outside the pool
-                pool = cfg.pool()
-                list(
-                    pool.map(
-                        lambda t: self._run_task(t, x, y, get_bundle, block_ic), tasks
+                try:
+                    pool = cfg.pool()
+                    list(
+                        pool.map(
+                            lambda t: self._run_task(t, x, y, get_bundle, block_ic), tasks
+                        )
                     )
-                )
+                except RuntimeError:
+                    # The pool was shut down between pool() and the submits
+                    # (server teardown racing a dispatch).  Tasks are
+                    # idempotent slice writes, so rerunning the full list
+                    # serially is safe whether or not some already ran.
+                    counter_add("runtime.pool.serial_fallbacks")
+                    for task in tasks:
+                        self._run_task(task, x, y, get_bundle, block_ic)
             else:
                 for task in tasks:
                     self._run_task(task, x, y, get_bundle, block_ic)
         return y
+
+    def per_row_workspace_bytes(self) -> int:
+        """Peak per-batch-row intermediate footprint across segments.
+
+        The same estimate :meth:`_tasks` uses to split a batch into
+        workspace chunks (gathered region + V + P + m and the output slice
+        of the widest Winograd segment), exposed so admission layers — the
+        serving batcher's workspace-budget flush trigger — can reason about
+        how many coalesced rows one dispatch of this executable costs.
+        """
+        itemsize = self.dtype.itemsize
+        peak = 0
+        for st in self._states:
+            if isinstance(st, _GemmSegment):
+                per_row = itemsize * (
+                    self.sig.ih * st.need * self.sig.ic
+                    + self.oh * st.seg.width
+                    * (self.sig.fh * self.sig.fw * self.sig.ic + self.sig.oc)
+                )
+            else:
+                per_row = itemsize * (
+                    st.nrows * st.ncols * self.sig.ic
+                    + st.alpha * self.sig.fh * self.oh * st.num_tiles
+                    * (self.sig.ic + self.sig.oc)
+                    + 2 * st.alpha * self.oh * st.num_tiles * self.sig.oc
+                )
+            peak = max(peak, per_row)
+        return peak
 
     def _tasks(self, batch: int, cfg: "ExecutionConfig") -> list[_Task]:
         """Split each segment into bounded-workspace batch chunks."""

@@ -1,0 +1,271 @@
+"""Load generation: open- and closed-loop driving of an InferenceService.
+
+Two canonical load models:
+
+* **closed loop** — ``concurrency`` workers each keep exactly one request
+  in flight (issue, await, repeat).  Offered load adapts to service speed;
+  this measures *capacity* (requests/sec at a given concurrency) and is
+  the mode the ``serve-smoke`` baseline records.
+* **open loop** — requests arrive on a fixed schedule (``rate_rps``)
+  regardless of completions, the arrival process of real traffic.  Unlike
+  the closed loop it exposes queueing collapse: when the service cannot
+  keep up, latency and rejections grow instead of the arrival rate
+  politely slowing down.
+
+Both produce a :class:`LoadgenResult`: throughput, p50/p95/p99/mean/max
+latency, per-error-kind counts, and the scheduler's batch-size histogram —
+the distribution that shows whether dynamic batching actually coalesced.
+
+Inputs are deterministic per request id (seeded from ``(seed, rid)``), so
+two runs over the same id set see identical payloads — which is what lets
+the baseline suite assert the batched run's outputs are bit-identical to
+the serial run's.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable
+
+import numpy as np
+
+from .errors import DeadlineExceeded, QueueFull, ServeError
+from .registry import RegisteredModel
+from .service import InferenceService
+
+__all__ = [
+    "LoadgenResult",
+    "closed_loop",
+    "open_loop",
+    "percentile",
+    "seeded_input_fn",
+]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of an unsorted sample."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, int(round(q / 100.0 * len(ordered) + 0.5)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def seeded_input_fn(
+    entry: RegisteredModel, *, seed: int = 0
+) -> Callable[[int], np.ndarray]:
+    """Deterministic request payloads: one sample per request id."""
+    h, w, c = entry.input_shapes[0]
+
+    def make(rid: int) -> np.ndarray:
+        rng = np.random.default_rng((seed, rid))
+        return rng.standard_normal((h, w, c)).astype(entry.dtype)
+
+    return make
+
+
+@dataclass
+class LoadgenResult:
+    """Outcome of one load-generation run."""
+
+    mode: str
+    model: str
+    requests: int
+    completed: int
+    errors: dict[str, int]
+    duration_s: float
+    latencies_ms: list[float] = field(repr=False)
+    batch_size_histogram: dict[int, int] = field(default_factory=dict)
+    outputs: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+
+    @property
+    def requests_per_sec(self) -> float:
+        return self.completed / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        total = sum(self.batch_size_histogram.values())
+        if not total:
+            return 0.0
+        return sum(s * n for s, n in self.batch_size_histogram.items()) / total
+
+    def latency_ms(self, q: float) -> float:
+        return percentile(self.latencies_ms, q)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "mode": self.mode,
+            "model": self.model,
+            "requests": self.requests,
+            "completed": self.completed,
+            "errors": dict(self.errors),
+            "duration_s": self.duration_s,
+            "requests_per_sec": self.requests_per_sec,
+            "latency_ms": {
+                "p50": self.latency_ms(50),
+                "p95": self.latency_ms(95),
+                "p99": self.latency_ms(99),
+                "mean": (
+                    sum(self.latencies_ms) / len(self.latencies_ms)
+                    if self.latencies_ms
+                    else 0.0
+                ),
+                "max": max(self.latencies_ms, default=0.0),
+            },
+            "batch_size_histogram": {
+                str(k): v for k, v in sorted(self.batch_size_histogram.items())
+            },
+            "mean_batch_size": self.mean_batch_size,
+        }
+
+    def report(self) -> str:
+        d = self.as_dict()
+        lat = d["latency_ms"]
+        hist = ", ".join(f"{k}x{v}" for k, v in d["batch_size_histogram"].items())  # type: ignore[union-attr]
+        return (
+            f"[loadgen] {self.mode} {self.model}: {self.completed}/{self.requests} ok "
+            f"in {self.duration_s:.2f}s -> {self.requests_per_sec:.1f} req/s\n"
+            f"  latency ms: p50={lat['p50']:.2f} p95={lat['p95']:.2f} "  # type: ignore[index]
+            f"p99={lat['p99']:.2f} max={lat['max']:.2f}\n"  # type: ignore[index]
+            f"  batch sizes: {hist or '-'}   mean={self.mean_batch_size:.2f}\n"
+            f"  errors: {self.errors or '-'}"
+        )
+
+
+def _error_key(exc: BaseException) -> str:
+    if isinstance(exc, QueueFull):
+        return "rejected"
+    if isinstance(exc, DeadlineExceeded):
+        return "expired"
+    if isinstance(exc, ServeError):
+        return type(exc).__name__
+    return "error"
+
+
+async def _issue(
+    service: InferenceService,
+    model: str,
+    rid: int,
+    input_fn: Callable[[int], np.ndarray],
+    timeout_ms: float | None | object,
+    latencies: list[float],
+    errors: dict[str, int],
+    outputs: dict[int, np.ndarray] | None,
+) -> None:
+    x = input_fn(rid)
+    t0 = time.perf_counter()
+    try:
+        y = await service.infer(model, x, timeout_ms=timeout_ms)
+    except Exception as exc:  # noqa: B902 - tally, don't crash the run
+        errors[_error_key(exc)] = errors.get(_error_key(exc), 0) + 1
+        return
+    latencies.append((time.perf_counter() - t0) * 1e3)
+    if outputs is not None:
+        outputs[rid] = y
+
+
+async def closed_loop(
+    service: InferenceService,
+    model: str,
+    *,
+    requests: int,
+    concurrency: int = 8,
+    input_fn: Callable[[int], np.ndarray] | None = None,
+    timeout_ms: float | None | object = "default",
+    seed: int = 0,
+    collect_outputs: bool = False,
+) -> LoadgenResult:
+    """``concurrency`` workers, one request in flight each, until done."""
+    if requests < 1 or concurrency < 1:
+        raise ValueError("requests and concurrency must be >= 1")
+    fn = input_fn or seeded_input_fn(service.registry.get(model), seed=seed)
+    batches_before = dict(service.scheduler.stats().batch_sizes)
+    latencies: list[float] = []
+    errors: dict[str, int] = {}
+    outputs: dict[int, np.ndarray] | None = {} if collect_outputs else None
+    pending = iter(range(requests))
+
+    async def worker() -> None:
+        for rid in pending:
+            await _issue(service, model, rid, fn, timeout_ms, latencies, errors, outputs)
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(min(concurrency, requests))))
+    duration = time.perf_counter() - t0
+    return _finish(
+        service, "closed", model, requests, latencies, errors, outputs, duration,
+        batches_before,
+    )
+
+
+async def open_loop(
+    service: InferenceService,
+    model: str,
+    *,
+    rate_rps: float,
+    requests: int,
+    input_fn: Callable[[int], np.ndarray] | None = None,
+    timeout_ms: float | None | object = "default",
+    seed: int = 0,
+    collect_outputs: bool = False,
+) -> LoadgenResult:
+    """Fixed-interval arrivals at ``rate_rps``, independent of completions."""
+    if requests < 1 or rate_rps <= 0:
+        raise ValueError("requests must be >= 1 and rate_rps > 0")
+    fn = input_fn or seeded_input_fn(service.registry.get(model), seed=seed)
+    batches_before = dict(service.scheduler.stats().batch_sizes)
+    latencies: list[float] = []
+    errors: dict[str, int] = {}
+    outputs: dict[int, np.ndarray] | None = {} if collect_outputs else None
+    interval = 1.0 / rate_rps
+    tasks: list[Awaitable[None]] = []
+
+    t0 = time.perf_counter()
+    for rid in range(requests):
+        target = t0 + rid * interval
+        delay = target - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(
+            asyncio.ensure_future(
+                _issue(service, model, rid, fn, timeout_ms, latencies, errors, outputs)
+            )
+        )
+    await asyncio.gather(*tasks)
+    duration = time.perf_counter() - t0
+    return _finish(
+        service, "open", model, requests, latencies, errors, outputs, duration,
+        batches_before,
+    )
+
+
+def _finish(
+    service: InferenceService,
+    mode: str,
+    model: str,
+    requests: int,
+    latencies: list[float],
+    errors: dict[str, int],
+    outputs: dict[int, np.ndarray] | None,
+    duration: float,
+    batches_before: dict[int, int],
+) -> LoadgenResult:
+    after = service.scheduler.stats().batch_sizes
+    delta = {
+        size: count - batches_before.get(size, 0)
+        for size, count in after.items()
+        if count - batches_before.get(size, 0) > 0
+    }
+    return LoadgenResult(
+        mode=mode,
+        model=model,
+        requests=requests,
+        completed=len(latencies),
+        errors=errors,
+        duration_s=duration,
+        latencies_ms=latencies,
+        batch_size_histogram=delta,
+        outputs=outputs or {},
+    )

@@ -1,0 +1,317 @@
+"""Model registry: named, frozen, pre-resolved models ready to serve.
+
+Registration does everything expensive exactly once, before the first
+request arrives:
+
+* builds (or adopts) a :mod:`repro.dlframe` model and pins it in ``eval``
+  mode — serving must be a pure function of the weights, so BatchNorm uses
+  running statistics and nothing mutates per request;
+* **warms** the model through the compiled-plan runtime: one forward pass
+  resolves every unit-stride convolution to its cached
+  :class:`~repro.runtime.executable.ConvExecutable` (plan + transform
+  matrices + gather descriptors + einsum paths) and pays the §6.1.2
+  filter-transform miss, so the first real request hits everywhere;
+* measures the model's **per-row workspace** from the executables the
+  warmup resolved (:meth:`~repro.runtime.executable.ConvExecutable.per_row_workspace_bytes`),
+  which the dynamic batcher's workspace-budget flush trigger consumes;
+* tracks a **weight version** per model, bumped by
+  :meth:`ModelRegistry.load_weights` — the serving twin of the runtime's
+  content-hashed filter-transform tokens: reloading weights invalidates the
+  cached filter transforms exactly once per conv, then hits again.
+
+Batch-row execution floor
+-------------------------
+:data:`MIN_EXECUTE_ROWS` pins the smallest batch the registry will hand to
+BLAS.  A single-row matmul takes the gemv special-case, whose accumulation
+differs in the last bits from the gemm path every row of a larger batch
+takes — so a 1-row dispatch and the same row inside a coalesced batch
+could disagree.  Padding every execution to at least two rows keeps the
+whole serving surface on one BLAS path, making responses **bit-identical
+across any batch composition** (the serving analogue of the paper's tile
+quantization: the batch-1 dispatch provably wastes its tail slot, and
+coalescing is what fills it).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+import numpy as np
+
+from .. import runtime
+from ..dlframe.autograd import Tensor, no_grad
+from ..dlframe.layers import Conv2D, Module
+from ..dlframe.models.resnet import resnet18, resnet34
+from ..dlframe.models.vgg import vgg16, vgg16x5, vgg16x7, vgg19
+from ..dlframe.serialization import load_weights as _load_weights
+from ..obs import counter_add, span
+from .errors import BadRequest, ModelNotFound
+
+__all__ = [
+    "MIN_EXECUTE_ROWS",
+    "MODEL_BUILDERS",
+    "ModelRegistry",
+    "RegisteredModel",
+]
+
+#: Smallest row count ever dispatched to the model (see module docstring):
+#: below this, BLAS routes matmuls to the gemv path whose accumulation
+#: differs bitwise from the gemm path batched rows take.
+MIN_EXECUTE_ROWS = 2
+
+#: Heuristic per-row workspace when warmup resolved no *new* executables
+#: (another model of the same geometry warmed the cache first): a deep CNN
+#: holds a few dozen activation maps of roughly input size in flight.
+_FALLBACK_WORKSPACE_FACTOR = 64
+
+#: Named architectures :meth:`ModelRegistry.register` can build directly.
+MODEL_BUILDERS: dict[str, Callable[..., Module]] = {
+    "resnet18": resnet18,
+    "resnet34": resnet34,
+    "vgg16": vgg16,
+    "vgg19": vgg19,
+    "vgg16x5": vgg16x5,
+    "vgg16x7": vgg16x7,
+}
+
+
+def _iter_modules(module: Module) -> Iterator[Module]:
+    """Depth-first walk over a module tree (the layers' containment idiom)."""
+    yield module
+    for value in vars(module).values():
+        if isinstance(value, Module):
+            yield from _iter_modules(value)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                if isinstance(item, Module):
+                    yield from _iter_modules(item)
+
+
+@dataclass
+class RegisteredModel:
+    """One served model plus everything registration pre-resolved."""
+
+    name: str
+    model: Module
+    input_shapes: tuple[tuple[int, int, int], ...]
+    dtype: str = "float32"
+    weight_version: int = 0
+    winograd_convs: int = 0
+    total_convs: int = 0
+    executables_resolved: int = 0
+    per_row_workspace_bytes: int = 0
+    warmup_ms: float = 0.0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    # -- request validation -------------------------------------------------
+
+    def validate(self, x: np.ndarray) -> tuple[np.ndarray, bool]:
+        """Coerce a request payload to ``(rows, was_unbatched)``.
+
+        Accepts one sample ``(H, W, C)`` or a micro-batch ``(n, H, W, C)``
+        whose row shape matches one of the registered input shapes; the
+        flag tells the response path whether to squeeze the batch axis
+        back off.
+        """
+        arr = np.asarray(x, dtype=self.dtype)
+        squeeze = arr.ndim == 3
+        if squeeze:
+            arr = arr[None]
+        if arr.ndim != 4 or arr.shape[0] < 1:
+            raise BadRequest(
+                f"model {self.name!r} expects (H, W, C) or (n, H, W, C), got {arr.shape}"
+            )
+        if tuple(arr.shape[1:]) not in self.input_shapes:
+            raise BadRequest(
+                f"model {self.name!r} serves input shapes {list(self.input_shapes)}, "
+                f"got {tuple(arr.shape[1:])}"
+            )
+        return arr, squeeze
+
+    # -- execution ----------------------------------------------------------
+
+    def infer_rows(self, rows: np.ndarray, *, batch_quantum: int = 1) -> np.ndarray:
+        """Forward ``rows`` through the frozen model, batch-composition-stably.
+
+        The executed batch is zero-padded up to
+        ``max(MIN_EXECUTE_ROWS, ceil(rows / batch_quantum) * batch_quantum)``
+        and the padding sliced back off: every row's arithmetic is then
+        independent of how many real requests shared its batch, so any
+        dynamic batch composition returns the same bits as batch-1 serial
+        execution (asserted in the test suite).
+        """
+        if batch_quantum < 1:
+            raise ValueError(f"batch_quantum must be >= 1, got {batch_quantum}")
+        k = rows.shape[0]
+        target = max(MIN_EXECUTE_ROWS, -(-k // batch_quantum) * batch_quantum)
+        if target != k:
+            counter_add("serve.pad.rows", target - k, model=self.name)
+            padded = np.zeros((target,) + rows.shape[1:], dtype=rows.dtype)
+            padded[:k] = rows
+        else:
+            padded = rows
+        with span("serve.model", model=self.name, rows=k, executed_rows=target):
+            with no_grad():
+                out = self.model(Tensor(padded)).data
+        return out[:k]
+
+    # -- introspection ------------------------------------------------------
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "input_shapes": [list(s) for s in self.input_shapes],
+            "dtype": self.dtype,
+            "weight_version": self.weight_version,
+            "winograd_convs": self.winograd_convs,
+            "total_convs": self.total_convs,
+            "executables_resolved": self.executables_resolved,
+            "per_row_workspace_bytes": self.per_row_workspace_bytes,
+            "warmup_ms": self.warmup_ms,
+            "parameters": self.model.num_parameters(),
+        }
+
+
+class ModelRegistry:
+    """Thread-safe name → :class:`RegisteredModel` store with warmup."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._models: dict[str, RegisteredModel] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        model: Module | None = None,
+        *,
+        arch: str | None = None,
+        image: int = 32,
+        in_channels: int = 3,
+        classes: int = 10,
+        width_mult: float = 1.0,
+        engine: str = "winograd",
+        seed: int = 0,
+        extra_images: tuple[int, ...] = (),
+        warmup: bool = True,
+    ) -> RegisteredModel:
+        """Register ``model`` (or build ``arch``) under ``name`` and warm it.
+
+        ``extra_images`` warms additional square input sizes (models whose
+        head tolerates them, e.g. ResNet's global pooling) so each size's
+        executables are resolved up front and admitted as request buckets.
+        """
+        if model is None:
+            if arch is None:
+                arch = name
+            if arch not in MODEL_BUILDERS:
+                raise ModelNotFound(
+                    f"unknown architecture {arch!r}; known: {sorted(MODEL_BUILDERS)}"
+                )
+            model = MODEL_BUILDERS[arch](
+                classes=classes,
+                in_channels=in_channels,
+                width_mult=width_mult,
+                engine=engine,
+                seed=seed,
+                **({"image": image} if arch.startswith("vgg") else {}),
+            )
+        model.eval()
+        convs = [m for m in _iter_modules(model) if isinstance(m, Conv2D)]
+        entry = RegisteredModel(
+            name=name,
+            model=model,
+            input_shapes=tuple(
+                (hw, hw, in_channels) for hw in (image, *extra_images)
+            ),
+            winograd_convs=sum(1 for c in convs if c.effective_engine == "winograd"),
+            total_convs=len(convs),
+        )
+        with self._lock:
+            if name in self._models:
+                raise ValueError(f"model {name!r} is already registered")
+            self._models[name] = entry
+        if warmup:
+            self._warm(entry)
+        counter_add("serve.models.registered")
+        return entry
+
+    def _warm(self, entry: RegisteredModel) -> None:
+        """Pre-resolve every conv through the runtime executable cache.
+
+        One forward per registered input shape: the executable cache takes
+        the plan/transform/einsum misses, the filter-transform cache takes
+        its one content-hash miss per conv, and the executables the pass
+        resolved yield the measured per-row workspace the batcher budgets
+        with.
+        """
+        before = {id(e) for e in runtime.global_cache().executables()}
+        t0 = time.perf_counter()
+        per_row_floor = 0
+        for h, w, c in entry.input_shapes:
+            zeros = np.zeros((MIN_EXECUTE_ROWS, h, w, c), dtype=entry.dtype)
+            entry.infer_rows(zeros)
+            per_row_floor = max(per_row_floor, zeros[0].nbytes)
+        entry.warmup_ms = (time.perf_counter() - t0) * 1e3
+        fresh = [
+            e for e in runtime.global_cache().executables() if id(e) not in before
+        ]
+        entry.executables_resolved = len(fresh)
+        entry.per_row_workspace_bytes = max(
+            (e.per_row_workspace_bytes() for e in fresh),
+            # Warm cache (a same-geometry model registered first): fall back
+            # to a documented input-scaled heuristic.
+            default=per_row_floor * _FALLBACK_WORKSPACE_FACTOR,
+        )
+        counter_add("serve.warmup.executables", entry.executables_resolved)
+
+    # -- weight lifecycle ---------------------------------------------------
+
+    def load_weights(
+        self, name: str, path: object, *, warmup: bool = True
+    ) -> RegisteredModel:
+        """Swap ``name``'s weights in place from a ``save_weights`` file.
+
+        Bumps the model's weight version; the runtime's content-hashed
+        filter-transform cache then misses exactly once per conv (the new
+        weights hash differently) and hits thereafter.  ``warmup=True``
+        pays those misses here rather than on the first post-reload request.
+        """
+        entry = self.get(name)
+        with entry._lock:
+            _load_weights(entry.model, path)  # type: ignore[arg-type]
+            entry.model.eval()
+            entry.weight_version += 1
+        counter_add("serve.weights.reloaded", model=name)
+        if warmup:
+            for h, w, c in entry.input_shapes:
+                entry.infer_rows(np.zeros((MIN_EXECUTE_ROWS, h, w, c), dtype=entry.dtype))
+        return entry
+
+    # -- lookup -------------------------------------------------------------
+
+    def get(self, name: str) -> RegisteredModel:
+        with self._lock:
+            entry = self._models.get(name)
+        if entry is None:
+            raise ModelNotFound(f"model {name!r} is not registered")
+        return entry
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._models)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._models
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)
+
+    def describe(self) -> list[dict[str, object]]:
+        return [self.get(name).describe() for name in self.names()]

@@ -1,0 +1,367 @@
+"""Async scheduler: bounded admission, deadlines, graceful degradation.
+
+The robustness contract, in order of a request's life:
+
+* **Admission control** — the queue is bounded (``max_queue_depth``
+  requests).  A full queue rejects new work *immediately* with
+  :class:`~repro.serve.errors.QueueFull` (HTTP 429) instead of hanging or
+  silently dropping; ``serve.rejected`` counts every rejection.
+* **Deadlines** — each request carries one (default
+  ``default_timeout_ms``).  Requests that age out while queued, or whose
+  deadline passes before their batch dispatches, fail with
+  :class:`~repro.serve.errors.DeadlineExceeded`; ``serve.expired`` counts
+  them.  A deadline is a promise to the client, not a hint.
+* **Graceful degradation** — if the batch's forward pass raises out of the
+  compiled runtime, the batch is replayed once under
+  :func:`repro.runtime.force_legacy` (the interpreted reference path,
+  bit-identical, no shared compiled state); ``serve.degraded`` counts the
+  fallbacks.  Only if the legacy path also fails does the error reach the
+  clients of that batch.
+
+Execution happens on a small worker pool (``execute_threads``, default 1)
+via ``run_in_executor`` so the event loop keeps admitting and rejecting
+while NumPy/BLAS crunches; futures complete back on the loop.  Teardown
+(:meth:`Scheduler.stop`) drains or fails the queue, shuts the worker pool,
+and calls the runtime :class:`~repro.runtime.engine.ExecutionConfig`'s
+(idempotent, dispatch-safe) ``shutdown``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..obs import counter_add, gauge_set, observe, span
+from ..runtime import default_config, force_legacy
+from ..runtime.engine import ExecutionConfig
+from .batching import Batch, BatchPolicy, DynamicBatcher, PendingRequest
+from .errors import DeadlineExceeded, QueueFull, ServiceStopped
+from .registry import ModelRegistry
+
+__all__ = ["Scheduler", "SchedulerConfig", "SchedulerStats"]
+
+
+@dataclass
+class SchedulerConfig:
+    """Knobs of one scheduler instance."""
+
+    policy: BatchPolicy = field(default_factory=BatchPolicy)
+    #: Bound on queued (admitted, not yet dispatched) requests.
+    max_queue_depth: int = 256
+    #: Default per-request deadline; ``None`` means no deadline.
+    default_timeout_ms: float | None = 1000.0
+    #: Model-execution worker threads.  One is usually right: BLAS releases
+    #: the GIL and parallelises internally; more threads mainly help when
+    #: many small models share the server.
+    execute_threads: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, got {self.max_queue_depth}")
+        if self.execute_threads < 1:
+            raise ValueError(f"execute_threads must be >= 1, got {self.execute_threads}")
+
+
+@dataclass
+class SchedulerStats:
+    """Always-on counters (obs mirrors them when instrumentation is on)."""
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    expired: int = 0
+    failed: int = 0
+    batches: int = 0
+    degraded_batches: int = 0
+    max_queue_depth_seen: int = 0
+    latency_ms_sum: float = 0.0
+    latency_ms_max: float = 0.0
+    batch_sizes: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mean_batch_size(self) -> float:
+        total = sum(self.batch_sizes.values())
+        if not total:
+            return 0.0
+        return sum(size * count for size, count in self.batch_sizes.items()) / total
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return self.latency_ms_sum / self.completed if self.completed else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "expired": self.expired,
+            "failed": self.failed,
+            "batches": self.batches,
+            "degraded_batches": self.degraded_batches,
+            "max_queue_depth_seen": self.max_queue_depth_seen,
+            "mean_latency_ms": self.mean_latency_ms,
+            "max_latency_ms": self.latency_ms_max,
+            "mean_batch_size": self.mean_batch_size,
+            "batch_size_histogram": {str(k): v for k, v in sorted(self.batch_sizes.items())},
+        }
+
+
+class Scheduler:
+    """Dynamic-batching request scheduler over a :class:`ModelRegistry`."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        config: SchedulerConfig | None = None,
+        *,
+        exec_config: ExecutionConfig | None = None,
+    ) -> None:
+        self.registry = registry
+        self.config = config if config is not None else SchedulerConfig()
+        self._exec_config = exec_config
+        self._batcher = DynamicBatcher(
+            self.config.policy,
+            per_row_bytes=lambda model: registry.get(model).per_row_workspace_bytes,
+        )
+        self._stats = SchedulerStats()
+        self._stats_lock = threading.Lock()
+        self._wake: asyncio.Event | None = None
+        self._loop_task: asyncio.Task | None = None
+        self._inflight: set[asyncio.Task] = set()
+        self._pool: ThreadPoolExecutor | None = None
+        self._running = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "Scheduler":
+        if self._running:
+            return self
+        self._running = True
+        self._wake = asyncio.Event()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.execute_threads, thread_name_prefix="repro-serve"
+        )
+        self._loop_task = asyncio.create_task(self._run(), name="repro-serve-flush")
+        return self
+
+    async def stop(self, *, drain: bool = True) -> None:
+        """Stop the flush loop; drain (default) or fail queued requests.
+
+        Also releases the execution worker pool and the runtime's pooled
+        dispatch config — both shutdowns are idempotent, so outer teardown
+        layers calling :meth:`stop` again are safe.
+        """
+        if not self._running:
+            return
+        self._running = False
+        assert self._wake is not None
+        self._wake.set()
+        if self._loop_task is not None:
+            await self._loop_task
+            self._loop_task = None
+        if drain:
+            for batch in self._batcher.drain():
+                await self._run_batch(batch)
+        else:
+            for batch in self._batcher.drain():
+                for req in batch.requests:
+                    self._fail(req, ServiceStopped("scheduler stopped"))
+        if self._inflight:
+            await asyncio.gather(*self._inflight, return_exceptions=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        # Runtime teardown tie-in: safe even if dispatch is mid-flight
+        # elsewhere, and safe to repeat (see ExecutionConfig.shutdown).
+        (self._exec_config or default_config()).shutdown()
+        self._gauge_depth()
+
+    # -- submission ----------------------------------------------------------
+
+    async def submit(
+        self,
+        model: str,
+        x: np.ndarray,
+        *,
+        timeout_ms: float | None | object = "default",
+    ) -> np.ndarray:
+        """Admit one request and await its result.
+
+        Raises :class:`ModelNotFound` / :class:`BadRequest` synchronously,
+        :class:`QueueFull` when admission fails, :class:`DeadlineExceeded`
+        when the deadline passes first, :class:`ServiceStopped` if the
+        scheduler stops without draining.
+        """
+        if not self._running or self._wake is None:
+            raise ServiceStopped("scheduler is not running")
+        entry = self.registry.get(model)
+        rows, squeeze = entry.validate(x)
+        depth = self._batcher.pending_requests()
+        if depth >= self.config.max_queue_depth:
+            with self._stats_lock:
+                self._stats.rejected += 1
+            counter_add("serve.rejected", model=model)
+            raise QueueFull(
+                f"queue full ({depth}/{self.config.max_queue_depth} requests); retry later"
+            )
+        if timeout_ms == "default":
+            timeout_ms = self.config.default_timeout_ms
+        now = time.monotonic()
+        deadline = None if timeout_ms is None else now + float(timeout_ms) / 1e3  # type: ignore[arg-type]
+        req = PendingRequest(
+            model=model,
+            rows=rows,
+            squeeze=squeeze,
+            enqueued_at=now,
+            deadline=deadline,
+            future=asyncio.get_running_loop().create_future(),
+        )
+        with self._stats_lock:
+            self._stats.submitted += 1
+            self._stats.max_queue_depth_seen = max(
+                self._stats.max_queue_depth_seen, depth + 1
+            )
+        counter_add("serve.requests", model=model)
+        self._batcher.add(req)
+        self._gauge_depth()
+        self._wake.set()
+        return await req.future
+
+    # -- flush loop ----------------------------------------------------------
+
+    async def _run(self) -> None:
+        assert self._wake is not None
+        while self._running:
+            due = self._batcher.next_due()
+            timeout = None if due is None else max(0.0, due - time.monotonic())
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout)
+            except (TimeoutError, asyncio.TimeoutError):
+                pass
+            self._wake.clear()
+            if not self._running:
+                break
+            now = time.monotonic()
+            for req in self._batcher.expire(now):
+                self._fail(
+                    req,
+                    DeadlineExceeded(
+                        f"deadline exceeded after {(now - req.enqueued_at) * 1e3:.1f} ms in queue"
+                    ),
+                    expired=True,
+                )
+            for batch in self._batcher.take_ready(now):
+                task = asyncio.create_task(self._run_batch(batch))
+                self._inflight.add(task)
+                task.add_done_callback(self._inflight.discard)
+            self._gauge_depth()
+
+    async def _run_batch(self, batch: Batch) -> None:
+        now = time.monotonic()
+        live = [r for r in batch.requests if not r.expired(now)]
+        for req in batch.requests:
+            if req not in live:
+                self._fail(
+                    req, DeadlineExceeded("deadline exceeded before dispatch"), expired=True
+                )
+        if not live:
+            return
+        batch = Batch(key=batch.key, requests=live)
+        loop = asyncio.get_running_loop()
+        try:
+            out = await loop.run_in_executor(self._pool, self._execute, batch)
+        except Exception as exc:  # noqa: B902 - fan the failure out per request
+            for req in live:
+                self._fail(req, exc)
+            return
+        done = time.monotonic()
+        with self._stats_lock:
+            self._stats.batches += 1
+            self._stats.batch_sizes[batch.rows] = (
+                self._stats.batch_sizes.get(batch.rows, 0) + 1
+            )
+        counter_add("serve.batches", model=batch.key[0])
+        observe("serve.batch.size", batch.rows, model=batch.key[0])
+        for req, part in zip(live, batch.split(out)):
+            latency_ms = (done - req.enqueued_at) * 1e3
+            with self._stats_lock:
+                self._stats.completed += 1
+                self._stats.latency_ms_sum += latency_ms
+                self._stats.latency_ms_max = max(self._stats.latency_ms_max, latency_ms)
+            observe("serve.latency_ms", latency_ms, model=req.model)
+            if not req.future.done():
+                req.future.set_result(part)
+
+    def _execute(self, batch: Batch) -> np.ndarray:
+        """Worker-thread body: one forward pass, legacy fallback on failure."""
+        entry = self.registry.get(batch.key[0])
+        stacked = batch.stacked()
+        with span(
+            "serve.batch", model=batch.key[0], requests=len(batch.requests), rows=batch.rows
+        ):
+            for req in batch.requests:
+                with span(
+                    "serve.request",
+                    rid=req.rid,
+                    model=req.model,
+                    rows=req.nrows,
+                    queued_ms=round((time.monotonic() - req.enqueued_at) * 1e3, 3),
+                ):
+                    pass
+            try:
+                return entry.infer_rows(
+                    stacked, batch_quantum=self.config.policy.batch_quantum
+                )
+            except Exception:
+                # Compiled-path failure: replay the whole batch on the
+                # interpreted reference path (shares none of the compiled
+                # state).  If this also raises, the batch truly fails.
+                with self._stats_lock:
+                    self._stats.degraded_batches += 1
+                counter_add("serve.degraded", model=batch.key[0])
+                with span("serve.batch.degraded", model=batch.key[0]), force_legacy():
+                    return entry.infer_rows(
+                        stacked, batch_quantum=self.config.policy.batch_quantum
+                    )
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _fail(self, req: PendingRequest, exc: Exception, *, expired: bool = False) -> None:
+        with self._stats_lock:
+            if expired:
+                self._stats.expired += 1
+            else:
+                self._stats.failed += 1
+        if expired:
+            counter_add("serve.expired", model=req.model)
+        if req.future is not None and not req.future.done():
+            req.future.set_exception(exc)
+
+    def _gauge_depth(self) -> None:
+        gauge_set("serve.queue.depth", self._batcher.pending_requests())
+
+    def stats(self) -> SchedulerStats:
+        with self._stats_lock:
+            snap = SchedulerStats(
+                submitted=self._stats.submitted,
+                completed=self._stats.completed,
+                rejected=self._stats.rejected,
+                expired=self._stats.expired,
+                failed=self._stats.failed,
+                batches=self._stats.batches,
+                degraded_batches=self._stats.degraded_batches,
+                max_queue_depth_seen=self._stats.max_queue_depth_seen,
+                latency_ms_sum=self._stats.latency_ms_sum,
+                latency_ms_max=self._stats.latency_ms_max,
+                batch_sizes=dict(self._stats.batch_sizes),
+            )
+        return snap
+
+    @property
+    def queue_depth(self) -> int:
+        return self._batcher.pending_requests()

@@ -1,0 +1,220 @@
+"""Inference service: the in-process async API plus a JSON-over-HTTP face.
+
+:class:`InferenceService` glues a :class:`~repro.serve.registry.ModelRegistry`
+to a :class:`~repro.serve.scheduler.Scheduler` and exposes:
+
+* ``await service.infer(model, x)`` — the in-process path (what the load
+  generator and tests drive; zero serialisation overhead);
+* ``service.stats()`` — scheduler counters + per-model registry state;
+* ``await service.serve_http(host, port)`` — a dependency-free HTTP/1.1
+  endpoint over ``asyncio.start_server``:
+
+  ====================  =====================================================
+  ``GET /healthz``      liveness: ``{"status": "ok"}``
+  ``GET /v1/models``    registered models and their warmup/version state
+  ``GET /v1/stats``     scheduler + queue counters
+  ``POST /v1/infer``    ``{"model": name, "inputs": nested-list,``
+                        ``"timeout_ms": optional}`` -> ``{"outputs": ...}``
+  ====================  =====================================================
+
+Error mapping is the typed error surface's ``http_status``: unknown model
+404, malformed payload 400, queue full 429, deadline 504, stopped 503.
+The wire format is JSON nested lists — simple, inspectable, curl-able; a
+binary format would only move the needle once the conv itself stops
+dominating.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import numpy as np
+
+from .errors import BadRequest, ServeError
+from .registry import ModelRegistry
+from .scheduler import Scheduler, SchedulerConfig
+
+__all__ = ["InferenceService"]
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class InferenceService:
+    """Registry + scheduler + (optional) HTTP front end, one lifecycle."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry | None = None,
+        config: SchedulerConfig | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else ModelRegistry()
+        self.scheduler = Scheduler(self.registry, config)
+        self._server: asyncio.AbstractServer | None = None
+        self._conns: set[asyncio.Task[None]] = set()
+        self._started_at = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "InferenceService":
+        await self.scheduler.start()
+        return self
+
+    async def stop(self, *, drain: bool = True) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # start_server only stops accepting; close keep-alive connections too.
+        for task in list(self._conns):
+            task.cancel()
+        if self._conns:
+            await asyncio.gather(*self._conns, return_exceptions=True)
+            self._conns.clear()
+        await self.scheduler.stop(drain=drain)
+
+    async def __aenter__(self) -> "InferenceService":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- in-process API ------------------------------------------------------
+
+    async def infer(
+        self,
+        model: str,
+        x: np.ndarray,
+        *,
+        timeout_ms: float | None | object = "default",
+    ) -> np.ndarray:
+        """Submit one request through the dynamic batcher and await it."""
+        return await self.scheduler.submit(model, x, timeout_ms=timeout_ms)
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "uptime_s": time.monotonic() - self._started_at,
+            "queue_depth": self.scheduler.queue_depth,
+            "scheduler": self.scheduler.stats().as_dict(),
+            "models": self.registry.describe(),
+        }
+
+    # -- HTTP front end ------------------------------------------------------
+
+    async def serve_http(self, host: str = "127.0.0.1", port: int = 8707) -> tuple[str, int]:
+        """Start the HTTP endpoint; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(self._handle_conn, host, port)
+        sock = self._server.sockets[0]
+        bound = sock.getsockname()
+        return bound[0], bound[1]
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conns.add(task)
+            task.add_done_callback(self._conns.discard)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, body = request
+                status, payload = await self._dispatch(method, path, body)
+                data = (json.dumps(payload) + "\n").encode()
+                writer.write(
+                    (
+                        f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                        "Content-Type: application/json\r\n"
+                        f"Content-Length: {len(data)}\r\n"
+                        "Connection: keep-alive\r\n\r\n"
+                    ).encode()
+                    + data
+                )
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            pass
+        except asyncio.CancelledError:
+            pass  # service stop closes lingering keep-alive connections
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> tuple[str, str, bytes] | None:
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, path, _ = line.decode("latin-1").split(" ", 2)
+        except ValueError:
+            return None
+        length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = min(int(value.strip()), _MAX_BODY_BYTES)
+                except ValueError:
+                    length = 0
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, body
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict[str, object]]:
+        try:
+            if method == "GET" and path == "/healthz":
+                return 200, {"status": "ok"}
+            if method == "GET" and path == "/v1/models":
+                return 200, {"models": self.registry.describe()}
+            if method == "GET" and path == "/v1/stats":
+                return 200, self.stats()
+            if method == "POST" and path == "/v1/infer":
+                return await self._handle_infer(body)
+            return 404, {"error": f"no route {method} {path}"}
+        except ServeError as exc:
+            return exc.http_status, {"error": str(exc), "kind": type(exc).__name__}
+        except Exception as exc:  # noqa: B902 - last-resort 500, never a hang
+            return 500, {"error": str(exc), "kind": type(exc).__name__}
+
+    async def _handle_infer(self, body: bytes) -> tuple[int, dict[str, object]]:
+        try:
+            payload = json.loads(body.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequest(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "model" not in payload or "inputs" not in payload:
+            raise BadRequest('POST /v1/infer expects {"model": ..., "inputs": ...}')
+        try:
+            x = np.asarray(payload["inputs"], dtype=np.float32)
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(f"inputs are not a numeric array: {exc}") from exc
+        timeout_ms = payload.get("timeout_ms", "default")
+        t0 = time.perf_counter()
+        out = await self.infer(str(payload["model"]), x, timeout_ms=timeout_ms)
+        return 200, {
+            "model": payload["model"],
+            "outputs": out.tolist(),
+            "latency_ms": (time.perf_counter() - t0) * 1e3,
+        }
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}

@@ -363,3 +363,126 @@ class TestSegmentValidation:
         a = winograd_segment(x, w, seg, ph=1, pw=1, oh=7, mats=mats.as_dtype(x.dtype))
         b = winograd_segment(x, w, seg, ph=1, pw=1, oh=7)
         np.testing.assert_array_equal(a, b)
+
+
+class TestShutdownSafety:
+    """ExecutionConfig.shutdown: idempotent, teardown-safe, dispatch-safe."""
+
+    def test_shutdown_is_idempotent(self):
+        cfg = ExecutionConfig(threads=2)
+        cfg.pool()
+        cfg.shutdown()
+        cfg.shutdown()  # second call is a no-op, not an error
+        cfg.shutdown(wait=False)
+
+    def test_shutdown_without_pool_is_a_noop(self):
+        ExecutionConfig(threads=0).shutdown()  # pool never built
+
+    def test_pool_rebuilds_after_shutdown(self, rng):
+        cfg = ExecutionConfig(threads=2)
+        first = cfg.pool()
+        cfg.shutdown()
+        second = cfg.pool()
+        assert second is not first
+        assert second.submit(lambda: 42).result() == 42
+        cfg.shutdown()
+
+    def test_shutdown_during_dispatch_falls_back_to_serial(self, rng):
+        """Convolutions racing a shutdown finish correctly, never raise."""
+        import threading as _threading
+
+        x = rng.standard_normal((4, 9, 23, 3)).astype(np.float32)
+        w = rng.standard_normal((5, 3, 3, 3)).astype(np.float32)
+        want = legacy_exact(x, w)
+        cfg = ExecutionConfig(threads=2, workspace_bytes=1 << 16)  # many chunks
+        runtime.convolve(x, w, config=cfg)  # compile once up front
+
+        stop = _threading.Event()
+
+        def harass():
+            while not stop.is_set():
+                cfg.shutdown()
+
+        saboteur = _threading.Thread(target=harass)
+        saboteur.start()
+        try:
+            with obs.capture():
+                for _ in range(30):
+                    got = runtime.convolve(x, w, config=cfg)
+                    np.testing.assert_array_equal(got, want)
+                fallbacks = obs.get_registry().get("runtime.pool.serial_fallbacks")
+                fallbacks_total = fallbacks.total() if fallbacks is not None else 0.0
+        finally:
+            stop.set()
+            saboteur.join()
+            cfg.shutdown()
+        # The race is timing-dependent; what must hold is correctness above.
+        assert fallbacks_total >= 0.0
+
+
+class TestCacheResizeRace:
+    """ExecutableCache.get() racing resize(): bounded, counted, exception-free."""
+
+    def test_threaded_get_resize_stress(self, rng):
+        import threading as _threading
+
+        from repro.runtime.cache import ExecutableCache
+
+        sigs = [
+            ConvSignature.for_operands(
+                np.zeros((1, 6, 10 + 2 * i, c), np.float32),
+                np.zeros((2, 3, 3, c), np.float32),
+            )
+            for i in range(6)
+            for c in (2, 3)
+        ]
+        cache = ExecutableCache(capacity=8)
+        gets_per_worker = 120
+        workers = 4
+        errors: list[BaseException] = []
+        start = _threading.Barrier(workers + 1)
+
+        def worker(seed: int) -> None:
+            local = np.random.default_rng(seed)
+            start.wait()
+            try:
+                for _ in range(gets_per_worker):
+                    sig = sigs[int(local.integers(len(sigs)))]
+                    exe = cache.get(sig)
+                    assert exe.sig == sig
+            except BaseException as exc:  # noqa: B902 - collected for the assert
+                errors.append(exc)
+
+        def resizer() -> None:
+            local = np.random.default_rng(999)
+            start.wait()
+            for _ in range(200):
+                cache.resize(int(local.integers(1, 9)))
+
+        threads = [_threading.Thread(target=worker, args=(i,)) for i in range(workers)]
+        threads.append(_threading.Thread(target=resizer))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert errors == []
+        stats = cache.stats()
+        assert stats.size <= stats.capacity
+        assert stats.hits + stats.misses == workers * gets_per_worker
+        # Racing duplicate compiles replace in place (a counted miss with no
+        # size growth), so equality need not hold — only the bound does.
+        assert stats.size <= stats.misses - stats.evictions
+
+    def test_resize_shrink_evicts_lru(self, rng):
+        for i in range(4):
+            x = rng.standard_normal((1, 6, 12 + 2 * i, 3)).astype(np.float32)
+            w = rng.standard_normal((2, 3, 3, 3)).astype(np.float32)
+            runtime.convolve(x, w)
+        assert runtime.cache_stats().size == 4
+        global_cache().resize(2)
+        stats = runtime.cache_stats()
+        assert stats.size == 2
+        assert stats.evictions >= 2
+        with pytest.raises(ValueError):
+            global_cache().resize(0)

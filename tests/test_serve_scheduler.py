@@ -1,0 +1,372 @@
+"""Tests for the serving control plane: scheduler, HTTP face, loadgen.
+
+The robustness contract under test (the module docstrings promise it, the
+ISSUE acceptance criteria demand it): a full queue **rejects** with
+:class:`QueueFull` instead of hanging or dropping, deadlines fail loudly
+with :class:`DeadlineExceeded`, and an injected compiled-executable
+failure **degrades** the batch to the interpreted legacy path and still
+answers — all observable through ``serve.*`` counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs, runtime
+from repro.runtime.cache import DEFAULT_CAPACITY, global_cache
+from repro.runtime.engine import DEFAULT_WORKSPACE_BYTES
+from repro.runtime.executable import ConvExecutable
+from repro.serve import (
+    BatchPolicy,
+    DeadlineExceeded,
+    InferenceService,
+    QueueFull,
+    SchedulerConfig,
+    ServiceStopped,
+    closed_loop,
+    open_loop,
+    percentile,
+    seeded_input_fn,
+)
+
+ARCH = "resnet18"
+WIDTH = 0.125
+IMAGE = 32
+
+
+@pytest.fixture(autouse=True)
+def _fresh_runtime():
+    runtime.clear_cache()
+    runtime.configure(threads=0, workspace_bytes=DEFAULT_WORKSPACE_BYTES)
+    global_cache().resize(DEFAULT_CAPACITY)
+    yield
+    runtime.clear_cache()
+    runtime.configure(threads=0, workspace_bytes=DEFAULT_WORKSPACE_BYTES)
+    global_cache().resize(DEFAULT_CAPACITY)
+
+
+def _counter_total(name: str) -> float:
+    metric = obs.get_registry().get(name)
+    return metric.total() if metric is not None else 0.0
+
+
+def _service(**config_kw) -> InferenceService:
+    service = InferenceService(config=SchedulerConfig(**config_kw))
+    service.registry.register("net", arch=ARCH, width_mult=WIDTH, image=IMAGE)
+    return service
+
+
+def _x(seed: int = 0) -> np.ndarray:
+    return (
+        np.random.default_rng(seed)
+        .standard_normal((IMAGE, IMAGE, 3))
+        .astype(np.float32)
+    )
+
+
+class TestAdmissionControl:
+    def test_full_queue_rejects_not_hangs(self):
+        async def scenario():
+            service = _service(
+                policy=BatchPolicy(max_batch_size=8, max_queue_delay_ms=50.0),
+                max_queue_depth=2,
+                default_timeout_ms=None,
+            )
+            with obs.capture():
+                async with service:
+                    queued = [
+                        asyncio.ensure_future(service.infer("net", _x(i)))
+                        for i in range(2)
+                    ]
+                    await asyncio.sleep(0)  # both admitted, neither dispatched
+                    with pytest.raises(QueueFull):
+                        await service.infer("net", _x(9))
+                    rejected = _counter_total("serve.rejected")
+                    # The queued requests still complete normally.
+                    outs = await asyncio.gather(*queued)
+            return rejected, outs, service.scheduler.stats()
+
+        rejected, outs, stats = asyncio.run(scenario())
+        assert rejected == 1
+        assert stats.rejected == 1
+        assert stats.completed == 2
+        assert all(out.shape == (10,) for out in outs)
+
+    def test_submit_after_stop_raises(self):
+        async def scenario():
+            service = _service()
+            async with service:
+                pass
+            with pytest.raises(ServiceStopped):
+                await service.infer("net", _x())
+
+        asyncio.run(scenario())
+
+    def test_stop_without_drain_fails_queued(self):
+        async def scenario():
+            service = _service(
+                policy=BatchPolicy(max_batch_size=8, max_queue_delay_ms=60_000.0),
+                default_timeout_ms=None,
+            )
+            await service.start()
+            fut = asyncio.ensure_future(service.infer("net", _x()))
+            await asyncio.sleep(0)
+            await service.scheduler.stop(drain=False)
+            with pytest.raises(ServiceStopped):
+                await fut
+
+        asyncio.run(scenario())
+
+
+class TestDeadlines:
+    def test_queued_request_expires_on_time(self):
+        async def scenario():
+            # A bucket that will never fill and would only delay-flush after
+            # a minute: the request's own deadline must still fire promptly.
+            service = _service(
+                policy=BatchPolicy(max_batch_size=8, max_queue_delay_ms=60_000.0),
+                default_timeout_ms=None,
+            )
+            with obs.capture():
+                async with service:
+                    t0 = asyncio.get_running_loop().time()
+                    with pytest.raises(DeadlineExceeded):
+                        await service.infer("net", _x(), timeout_ms=40.0)
+                    waited = asyncio.get_running_loop().time() - t0
+                expired = _counter_total("serve.expired")
+            return waited, expired, service.scheduler.stats()
+
+        waited, expired, stats = asyncio.run(scenario())
+        assert stats.expired == 1 and expired == 1
+        assert waited < 5.0  # enforced by the deadline timer, not the flush
+
+    def test_default_timeout_applies(self):
+        async def scenario():
+            service = _service(
+                policy=BatchPolicy(max_batch_size=8, max_queue_delay_ms=60_000.0),
+                default_timeout_ms=40.0,
+            )
+            async with service:
+                with pytest.raises(DeadlineExceeded):
+                    await service.infer("net", _x())  # timeout_ms="default"
+
+        asyncio.run(scenario())
+
+
+class TestGracefulDegradation:
+    def test_executable_failure_degrades_to_legacy(self, monkeypatch):
+        async def scenario():
+            service = _service(
+                policy=BatchPolicy(max_batch_size=4, max_queue_delay_ms=2.0),
+                default_timeout_ms=30_000.0,
+            )
+            entry = service.registry.get("net")
+            xs = [_x(i) for i in range(3)]
+            with runtime.force_legacy():
+                want = [entry.infer_rows(x[None])[0] for x in xs]
+
+            def boom(self, *a, **kw):
+                raise RuntimeError("injected executable failure")
+
+            with obs.capture():
+                async with service:
+                    # Break every compiled executable *after* warmup: the
+                    # compiled path now raises and the scheduler must replay
+                    # on the interpreted legacy path.
+                    monkeypatch.setattr(ConvExecutable, "__call__", boom)
+                    got = await asyncio.gather(
+                        *(service.infer("net", x) for x in xs)
+                    )
+                degraded = _counter_total("serve.degraded")
+                legacy_calls = _counter_total("runtime.degraded.calls")
+            return got, want, degraded, legacy_calls, service.scheduler.stats()
+
+        got, want, degraded, legacy_calls, stats = asyncio.run(scenario())
+        assert stats.completed == 3 and stats.failed == 0
+        assert stats.degraded_batches >= 1
+        assert degraded == stats.degraded_batches
+        assert legacy_calls >= stats.degraded_batches  # convs replayed legacy
+        for y, ref in zip(got, want):
+            np.testing.assert_array_equal(y, ref)
+
+    def test_double_failure_reaches_client(self, monkeypatch):
+        async def scenario():
+            service = _service(default_timeout_ms=30_000.0)
+            entry = service.registry.get("net")
+
+            def boom(rows, **kw):
+                raise RuntimeError("model is broken either way")
+
+            async with service:
+                monkeypatch.setattr(entry, "infer_rows", boom)
+                with pytest.raises(RuntimeError, match="broken either way"):
+                    await service.infer("net", _x())
+            return service.scheduler.stats()
+
+        stats = asyncio.run(scenario())
+        assert stats.failed == 1 and stats.completed == 0
+
+
+class TestHttpEndpoint:
+    async def _roundtrip(self, reader, writer, method, path, body=None):
+        data = b"" if body is None else json.dumps(body).encode()
+        writer.write(
+            f"{method} {path} HTTP/1.1\r\nContent-Length: {len(data)}\r\n\r\n".encode()
+            + data
+        )
+        await writer.drain()
+        status_line = (await reader.readline()).decode()
+        length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b""):
+                break
+            if header.lower().startswith(b"content-length"):
+                length = int(header.split(b":")[1])
+        payload = json.loads(await reader.readexactly(length))
+        return int(status_line.split()[1]), payload
+
+    def test_routes_and_error_mapping(self):
+        async def scenario():
+            service = _service(default_timeout_ms=30_000.0)
+            async with service:
+                host, port = await service.serve_http("127.0.0.1", 0)
+                reader, writer = await asyncio.open_connection(host, port)
+                rt = self._roundtrip
+
+                status, body = await rt(reader, writer, "GET", "/healthz")
+                assert (status, body) == (200, {"status": "ok"})
+
+                status, body = await rt(reader, writer, "GET", "/v1/models")
+                assert status == 200 and body["models"][0]["name"] == "net"
+
+                x = np.zeros((IMAGE, IMAGE, 3), np.float32).tolist()
+                status, body = await rt(
+                    reader, writer, "POST", "/v1/infer", {"model": "net", "inputs": x}
+                )
+                assert status == 200 and len(body["outputs"]) == 10
+                assert body["latency_ms"] > 0
+
+                status, body = await rt(
+                    reader, writer, "POST", "/v1/infer", {"model": "ghost", "inputs": x}
+                )
+                assert status == 404 and body["kind"] == "ModelNotFound"
+
+                status, body = await rt(
+                    reader, writer, "POST", "/v1/infer",
+                    {"model": "net", "inputs": [[1, 2], [3]]},
+                )
+                assert status == 400 and body["kind"] == "BadRequest"
+
+                status, _ = await rt(reader, writer, "POST", "/v1/infer", {})
+                assert status == 400
+
+                status, _ = await rt(reader, writer, "GET", "/nope")
+                assert status == 404
+
+                status, body = await rt(reader, writer, "GET", "/v1/stats")
+                assert status == 200 and body["scheduler"]["completed"] == 1
+
+                writer.close()
+
+        asyncio.run(scenario())
+
+    def test_http_infer_matches_in_process(self, rng):
+        async def scenario():
+            service = _service(default_timeout_ms=30_000.0)
+            x = rng.standard_normal((IMAGE, IMAGE, 3)).astype(np.float32)
+            async with service:
+                want = await service.infer("net", x)
+                host, port = await service.serve_http("127.0.0.1", 0)
+                reader, writer = await asyncio.open_connection(host, port)
+                status, body = await self._roundtrip(
+                    reader, writer, "POST", "/v1/infer",
+                    {"model": "net", "inputs": x.tolist()},
+                )
+                writer.close()
+            assert status == 200
+            # tolist() round-trips float32 exactly via decimal repr.
+            np.testing.assert_array_equal(
+                np.asarray(body["outputs"], np.float32), want
+            )
+
+        asyncio.run(scenario())
+
+
+class TestLoadgen:
+    def test_percentile_nearest_rank(self):
+        assert percentile([], 50) == 0.0
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(values, 50) == 3.0
+        assert percentile(values, 99) == 5.0
+        assert percentile(values, 0) == 1.0
+
+    def test_closed_loop_smoke_and_bit_identity(self):
+        async def scenario():
+            service = _service(
+                policy=BatchPolicy(max_batch_size=4, max_queue_delay_ms=2.0),
+                default_timeout_ms=30_000.0,
+            )
+            async with service:
+                return await closed_loop(
+                    service, "net", requests=12, concurrency=4, collect_outputs=True
+                ), service
+
+        result, service = asyncio.run(scenario())
+        assert result.completed == 12 and not result.errors
+        assert result.requests_per_sec > 0
+        # Batch histogram counts rows, one per request here.
+        assert sum(s * n for s, n in result.batch_size_histogram.items()) == 12
+        d = result.as_dict()
+        assert set(d["latency_ms"]) == {"p50", "p95", "p99", "mean", "max"}
+        assert "12/12 ok" in result.report()
+        # Deterministic payloads -> outputs equal serial recomputation.
+        entry = service.registry.get("net")
+        fn = seeded_input_fn(entry)
+        for rid, y in result.outputs.items():
+            np.testing.assert_array_equal(y, entry.infer_rows(fn(rid)[None])[0])
+
+    def test_open_loop_smoke(self):
+        async def scenario():
+            service = _service(default_timeout_ms=30_000.0)
+            async with service:
+                return await open_loop(service, "net", rate_rps=400.0, requests=8)
+
+        result = asyncio.run(scenario())
+        assert result.mode == "open"
+        assert result.completed == 8 and not result.errors
+
+    def test_loadgen_tallies_errors(self):
+        async def scenario():
+            service = _service(
+                policy=BatchPolicy(max_batch_size=8, max_queue_delay_ms=60_000.0),
+                default_timeout_ms=None,
+            )
+            async with service:
+                return await closed_loop(
+                    service, "net", requests=4, concurrency=4, timeout_ms=30.0
+                )
+
+        result = asyncio.run(scenario())
+        assert result.completed < 4
+        assert result.errors.get("expired", 0) >= 1
+
+
+class TestServiceStats:
+    def test_stats_shape(self):
+        async def scenario():
+            service = _service(default_timeout_ms=30_000.0)
+            async with service:
+                await service.infer("net", _x())
+                return service.stats()
+
+        stats = asyncio.run(scenario())
+        assert stats["queue_depth"] == 0
+        assert stats["scheduler"]["completed"] == 1
+        assert stats["scheduler"]["mean_batch_size"] >= 1.0
+        assert stats["models"][0]["name"] == "net"
+        assert stats["uptime_s"] > 0
