@@ -7,6 +7,14 @@ with instrumentation disabled vs enabled — and reports the per-call cost.
 (The disabled column is the one the < 2% budget applies to; the comparison
 baseline is the same loop, which differs from seed code only by the no-op
 guards themselves.)
+
+The serve-path variant (``test_serve_telemetry_overhead``) measures the
+same contract one layer up: the full request-telemetry stack (W3C traces,
+windowed latency histograms, SLO burn-rate tracking) against an untraced
+run of the identical closed-loop load, via the ``telemetry-smoke``
+baseline suite.  It writes ``benchmarks/out/BENCH_telemetry.json`` — the
+capture the committed root-level ``BENCH_telemetry_gate.json`` floors are
+distilled from.
 """
 
 from __future__ import annotations
@@ -84,5 +92,43 @@ def test_obs_overhead(artifact):
     assert enabled_s < disabled_s * 3.0
 
 
+def test_serve_telemetry_overhead(artifact):
+    """Serve-path telemetry cost: traced vs untraced closed-loop serving."""
+    from repro.bench.baseline import suite_metrics, write_baseline
+
+    metrics = suite_metrics("telemetry-smoke")
+    ratio = metrics["telemetry/resnet18/overhead.ratio"]
+    lines = [
+        "closed-loop resnet18 (w=0.125), telemetry on vs off:",
+        f"  off: {metrics['telemetry/resnet18/off.requests_per_sec']:8.1f} req/s  "
+        f"p99 {metrics['telemetry/resnet18/off.p99.time_ms']:.2f} ms",
+        f"  on:  {metrics['telemetry/resnet18/on.requests_per_sec']:8.1f} req/s  "
+        f"p99 {metrics['telemetry/resnet18/on.p99.time_ms']:.2f} ms",
+        f"  overhead ratio (off/on): {ratio:.3f}x",
+        f"  bit identical: {metrics['telemetry/resnet18/bit_identical']:.0f}  "
+        f"traced: {metrics['telemetry/resnet18/traced_fraction']:.2f}  "
+        f"attributed: {metrics['telemetry/resnet18/attributed_fraction']:.2f}",
+        f"  windowed p50/p99 ms: {metrics['telemetry/resnet18/window.p50.time_ms']:.2f}"
+        f"/{metrics['telemetry/resnet18/window.p99.time_ms']:.2f}",
+    ]
+    artifact("serve_telemetry_overhead", "\n".join(lines))
+
+    out_dir = pathlib.Path(__file__).parent / "out"
+    write_baseline(
+        out_dir / "BENCH_telemetry.json",
+        metrics,
+        tag="telemetry",
+        suite="telemetry-smoke",
+    )
+
+    # Numerics must be untouched; the throughput bound is deliberately loose
+    # here (CI machines are noisy) — the real floor lives in the committed
+    # BENCH_telemetry_gate.json the CI gate compares against.
+    assert metrics["telemetry/resnet18/bit_identical"] == 1.0
+    assert metrics["telemetry/resnet18/traced_fraction"] == 1.0
+    assert ratio < 3.0
+
+
 if __name__ == "__main__":
     test_obs_overhead(lambda name, text: print(text))
+    test_serve_telemetry_overhead(lambda name, text: print(text))

@@ -45,6 +45,17 @@ Suites
     floors (``batch_speedup`` >= 2, ``bit_identical`` == 1), so the CI
     gate reads "dynamic batching at least doubles throughput without
     changing a single bit".
+``telemetry-smoke``
+    *Measured* cost of the full request-telemetry stack: the serve-smoke
+    closed loop with tracing + windowed latency histograms + SLO burn-rate
+    tracking enabled vs everything disabled, over the same deterministic
+    request set.  Records the throughput ``overhead.ratio`` (off/on,
+    lower-better), a ``bit_identical`` flag comparing every traced
+    response against its untraced twin, and coverage flags (every request
+    traced and server-attributed, windowed quantiles ordered).  The
+    committed ``BENCH_telemetry_gate.json`` pins only the
+    machine-independent floors, so the CI gate reads "telemetry changes
+    no bits and costs bounded throughput".
 ``full``
     Union of all of the above (modeled suites; wall-clock and serving are
     captured separately since they are machine-dependent).
@@ -450,6 +461,105 @@ def _serve_metrics() -> dict[str, float]:
     return out
 
 
+def _telemetry_metrics() -> dict[str, float]:
+    """Measured telemetry-on vs telemetry-off serving on resnet18 (w=0.125).
+
+    The serve-smoke closed loop twice over the same deterministic request
+    set and batching policy: once with the full observability stack on
+    (obs spans, request traces fanning into batch traces, windowed latency
+    histograms, a tight-but-passing SLO tracker) and once with everything
+    off.  ``overhead.ratio`` is off-throughput / on-throughput — 1.0 means
+    telemetry is free, and the committed gate bounds how far above 1.0 CI
+    tolerates.  ``bit_identical`` asserts instrumentation never touches
+    the numerics; the coverage flags assert the telemetry actually
+    happened (every completed request traced and server-attributed,
+    windowed p50 <= p99 over a non-empty window).
+    """
+    import asyncio
+
+    import numpy as np
+
+    from .. import obs
+    from ..obs import telemetry
+    from ..obs.metrics import get_registry
+    from ..obs.slo import SLOConfig
+    from ..serve import BatchPolicy, InferenceService, SchedulerConfig, closed_loop
+
+    async def run(telemetry_on: bool):
+        slo = (
+            SLOConfig(latency_target_ms=10_000.0, error_rate_target=0.01)
+            if telemetry_on
+            else None
+        )
+        service = InferenceService(
+            config=SchedulerConfig(
+                policy=BatchPolicy(
+                    max_batch_size=SERVE_SMOKE_MAX_BATCH, max_queue_delay_ms=2.0
+                ),
+                default_timeout_ms=None,
+                slo=slo,
+            )
+        )
+        service.registry.register("resnet18", width_mult=0.125)
+        async with service:
+            return await closed_loop(
+                service,
+                "resnet18",
+                requests=SERVE_SMOKE_REQUESTS,
+                concurrency=SERVE_SMOKE_CONCURRENCY,
+                collect_outputs=True,
+            )
+
+    was_obs, was_tel = obs.enabled(), telemetry.enabled()
+    try:
+        obs.disable()
+        telemetry.disable()
+        off = asyncio.run(run(False))
+        obs.enable()
+        telemetry.enable()
+        on = asyncio.run(run(True))
+    finally:
+        obs.enable() if was_obs else obs.disable()
+        telemetry.enable() if was_tel else telemetry.disable()
+    if on.errors or off.errors:
+        raise RuntimeError(
+            f"telemetry-smoke runs must complete cleanly, got errors "
+            f"on={on.errors} off={off.errors}"
+        )
+    bit_identical = float(
+        on.outputs.keys() == off.outputs.keys()
+        and all(np.array_equal(on.outputs[rid], off.outputs[rid]) for rid in on.outputs)
+    )
+    hist = get_registry().get("serve.latency.window_ms")
+    if hist is not None and hasattr(hist, "quantile"):
+        p50 = hist.quantile(0.50, model="resnet18")
+        p99 = hist.quantile(0.99, model="resnet18")
+        quantiles_ok = float(0.0 < p50 <= p99)
+    else:
+        p50 = p99 = 0.0
+        quantiles_ok = 0.0
+    out: dict[str, float] = {}
+    for label, result in (("on", on), ("off", off)):
+        prefix = f"telemetry/resnet18/{label}"
+        out[f"{prefix}.requests_per_sec"] = result.requests_per_sec
+        out[f"{prefix}.p50.time_ms"] = result.latency_ms(50)
+        out[f"{prefix}.p99.time_ms"] = result.latency_ms(99)
+    out["telemetry/resnet18/overhead.ratio"] = (
+        off.requests_per_sec / on.requests_per_sec if on.requests_per_sec else float("inf")
+    )
+    out["telemetry/resnet18/bit_identical"] = bit_identical
+    out["telemetry/resnet18/traced_fraction"] = (
+        len(on.trace_ids) / on.completed if on.completed else 0.0
+    )
+    out["telemetry/resnet18/attributed_fraction"] = (
+        len(on.queued_ms) / on.completed if on.completed else 0.0
+    )
+    out["telemetry/resnet18/window.p50.time_ms"] = p50
+    out["telemetry/resnet18/window.p99.time_ms"] = p99
+    out["telemetry/resnet18/window_quantiles_ordered"] = quantiles_ok
+    return out
+
+
 SUITES = {
     "smoke": _smoke_metrics,
     "fig8": lambda: _figure_metrics("fig8"),
@@ -458,6 +568,7 @@ SUITES = {
     "wallclock": _wallclock_metrics,
     "wallclock-smoke": lambda: _wallclock_metrics(WALLCLOCK_SMOKE_INDICES),
     "serve-smoke": _serve_metrics,
+    "telemetry-smoke": _telemetry_metrics,
     "full": _full_metrics,
 }
 

@@ -39,18 +39,23 @@ the device rooflines.  Both live behind a lazy attribute (``obs.profile_conv``
 itself imports this package.
 """
 
+from . import telemetry
 from .chrometrace import chrome_trace, write_chrome_trace
 from .metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    WindowedHistogram,
     counter_add,
     gauge_set,
     get_registry,
     metrics_json,
     observe,
+    observe_windowed,
 )
+from .promexport import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from .promexport import render_prometheus
 from .summary import aggregate, format_duration, render_tree
 from .tracer import (
     NULL_SPAN,
@@ -82,11 +87,17 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "WindowedHistogram",
     "get_registry",
     "counter_add",
     "gauge_set",
     "observe",
+    "observe_windowed",
     "metrics_json",
+    # request-scoped telemetry + exposition
+    "telemetry",
+    "render_prometheus",
+    "PROMETHEUS_CONTENT_TYPE",
     # exporters
     "chrome_trace",
     "write_chrome_trace",

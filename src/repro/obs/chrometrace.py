@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from typing import Any
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry, label_string
@@ -30,7 +31,26 @@ __all__ = ["chrome_trace", "write_chrome_trace", "SCHEMA_VERSION"]
 SCHEMA_VERSION = 1
 
 
-def _span_events(tracer: Tracer, pid: int) -> list[dict[str, Any]]:
+def _stable_tids(tracer: Tracer) -> dict[tuple[int, str], int]:
+    """Stable, small ``tid`` per recording thread, keyed ``(ident, name)``.
+
+    Raw OS idents are unfit as rows: executor pools recycle them across
+    restarts, so spans from *different* worker generations interleave into
+    one unreadable row.  Keying on the thread name as well splits those
+    generations, and numbering rows in first-seen span order (main thread
+    first) keeps the layout stable across exports of the same trace.
+    """
+    tids: dict[tuple[int, str], int] = {}
+    main = threading.main_thread()
+    tids[(main.ident or 0, main.name)] = 0
+    for rec, _ in tracer.iter_spans():
+        tids.setdefault((rec.tid, rec.thread), len(tids))
+    return tids
+
+
+def _span_events(
+    tracer: Tracer, pid: int, tids: dict[tuple[int, str], int]
+) -> list[dict[str, Any]]:
     events: list[dict[str, Any]] = []
     origin = tracer.origin_s
     for rec, _ in tracer.iter_spans():
@@ -43,7 +63,7 @@ def _span_events(tracer: Tracer, pid: int) -> list[dict[str, Any]]:
                 "ts": (rec.start_s - origin) * 1e6,
                 "dur": max(0.0, end - rec.start_s) * 1e6,
                 "pid": pid,
-                "tid": rec.tid,
+                "tid": tids.setdefault((rec.tid, rec.thread), len(tids)),
                 "args": {k: _jsonable(v) for k, v in rec.attrs.items()},
             }
         )
@@ -96,7 +116,27 @@ def chrome_trace(
             "args": {"name": "repro (Im2col-Winograd)"},
         }
     ]
-    span_events = _span_events(tracer, pid)
+    tids = _stable_tids(tracer)
+    span_events = _span_events(tracer, pid, tids)
+    for (_ident, tname), tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": tname or f"thread-{tid}"},
+            }
+        )
+        events.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"sort_index": tid},
+            }
+        )
     events.extend(span_events)
     end_ts = max((e["ts"] + e["dur"] for e in span_events), default=0.0)
     events.extend(_metric_events(registry, pid, end_ts))

@@ -1,0 +1,153 @@
+"""Prometheus text exposition (format 0.0.4) of the metrics registry.
+
+Dependency-free rendering of every registered instrument into the plain
+``text/plain; version=0.0.4`` format a Prometheus scraper (or curl) reads:
+
+* :class:`~repro.obs.metrics.Counter` → one ``*_total`` counter family,
+  one sample per label set.  Counters in the registry are monotone by
+  construction (``inc`` rejects negatives), so successive scrapes never
+  decrease — the property rate() depends on, asserted by the test suite's
+  minimal text-format parser;
+* :class:`~repro.obs.metrics.Gauge` → a gauge family;
+* :class:`~repro.obs.metrics.WindowedHistogram` → a full histogram family
+  (cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count`` — all-time, hence
+  monotone) **plus** a ``*_window`` gauge family with ``quantile`` labels
+  carrying the sliding-window p50/p90/p99 — the "last N seconds" view a
+  cumulative histogram cannot express;
+* plain :class:`~repro.obs.metrics.Histogram` (count/sum/min/max summary)
+  → ``_count``/``_sum``/``_min``/``_max`` gauges.
+
+Metric names are sanitised to the Prometheus grammar (dots become
+underscores: ``serve.latency_ms`` → ``serve_latency_ms``); label values are
+escaped per the exposition spec (backslash, double quote, newline).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    WindowedHistogram,
+    get_registry,
+)
+
+__all__ = ["CONTENT_TYPE", "render_prometheus", "prom_name", "escape_label_value"]
+
+#: The Content-Type a ``GET /metrics`` response must carry.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_WINDOW_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def prom_name(name: str) -> str:
+    """Sanitise a dotted metric name to the Prometheus name grammar."""
+    out = _INVALID_CHARS.sub("_", name)
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def escape_label_value(value: Any) -> str:
+    """Escape a label value per the text-exposition spec."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _fmt(value: float) -> str:
+    f = float(value)
+    if f != f:  # NaN
+        return "NaN"
+    if f in (float("inf"), float("-inf")):
+        return "+Inf" if f > 0 else "-Inf"
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _labels(pairs: dict[str, Any]) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{escape_label_value(v)}"' for k, v in pairs.items())
+    return "{" + body + "}"
+
+
+def _header(lines: list[str], name: str, kind: str, help: str) -> None:
+    if help:
+        lines.append(f"# HELP {name} {_escape_help(help)}")
+    lines.append(f"# TYPE {name} {kind}")
+
+
+def render_prometheus(registry: MetricsRegistry | None = None) -> str:
+    """Render the registry (default: the global one) to exposition text."""
+    reg = registry if registry is not None else get_registry()
+    lines: list[str] = []
+    for name in reg.names():
+        metric = reg.get(name)
+        pname = prom_name(name)
+        if isinstance(metric, Counter):
+            fam = pname if pname.endswith("_total") else pname + "_total"
+            _header(lines, fam, "counter", metric.help)
+            for key, value in metric._items():
+                lines.append(f"{fam}{_labels(dict(key))} {_fmt(value)}")
+        elif isinstance(metric, WindowedHistogram):
+            _header(lines, pname, "histogram", metric.help)
+            for key, _summary in metric._items():
+                labels = dict(key)
+                counts = metric.bucket_counts(**labels)
+                cum = 0
+                for edge, count in zip(metric.bucket_edges, counts):
+                    cum += count
+                    lines.append(
+                        f"{pname}_bucket{_labels({**labels, 'le': _fmt(edge)})} {cum}"
+                    )
+                cum += counts[-1]
+                lines.append(f"{pname}_bucket{_labels({**labels, 'le': '+Inf'})} {cum}")
+                with metric._lock:
+                    s = dict(metric._values.get(key, {"count": 0, "sum": 0.0}))
+                lines.append(f"{pname}_sum{_labels(labels)} {_fmt(s['sum'])}")
+                lines.append(f"{pname}_count{_labels(labels)} {_fmt(s['count'])}")
+            # Sliding-window quantiles: a separate gauge family, since the
+            # histogram family above must stay cumulative/monotone.
+            wfam = pname + "_window"
+            _header(
+                lines, wfam, "gauge",
+                f"sliding-window ({metric.window_s:g}s) quantiles of {name}",
+            )
+            for key, _summary in metric._items():
+                labels = dict(key)
+                for q in _WINDOW_QUANTILES:
+                    sample = metric.quantile(q, **labels)
+                    lines.append(
+                        f"{wfam}{_labels({**labels, 'quantile': _fmt(q)})} {_fmt(sample)}"
+                    )
+                win = metric.window_summary(**labels)
+                lines.append(
+                    f"{wfam}_count{_labels(labels)} {_fmt(win['count'])}"
+                )
+        elif isinstance(metric, Histogram):
+            _header(lines, pname, "untyped", metric.help)
+            for key, summary in metric._items():
+                labels = dict(key)
+                for stat in ("count", "sum", "min", "max"):
+                    lines.append(
+                        f"{pname}_{stat}{_labels(labels)} {_fmt(summary[stat])}"
+                    )
+        elif isinstance(metric, Gauge):
+            _header(lines, pname, "gauge", metric.help)
+            for key, value in metric._items():
+                lines.append(f"{pname}{_labels(dict(key))} {_fmt(value)}")
+    return "\n".join(lines) + "\n"

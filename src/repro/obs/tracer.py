@@ -82,6 +82,11 @@ class SpanRecord:
     attrs: dict[str, Any] = field(default_factory=dict)
     children: list["SpanRecord"] = field(default_factory=list)
     tid: int = 0
+    #: Recording thread's name.  OS thread idents are recycled (a restarted
+    #: executor pool reuses them), so the Chrome-trace exporter keys its
+    #: rows on ``(tid, thread)`` and labels them with this name — one
+    #: readable row per worker instead of interleaved anonymous ids.
+    thread: str = ""
 
     @property
     def duration_s(self) -> float:
@@ -124,11 +129,15 @@ NULL_SPAN = _NullSpan()
 class Tracer:
     """Records a forest of :class:`SpanRecord` trees, one stack per thread."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, max_roots: int | None = None) -> None:
         self.roots: list[SpanRecord] = []
         self._stacks: dict[int, list[SpanRecord]] = {}
         self._lock = threading.Lock()
         self.origin_s = time.perf_counter()
+        #: Optional bound on retained root spans: long-running servers
+        #: record indefinitely, so the serve telemetry path caps the forest
+        #: and drops the oldest completed roots (see :meth:`set_root_limit`).
+        self.max_roots = max_roots
 
     def reset(self) -> None:
         """Drop all recorded spans and restart the time origin."""
@@ -137,15 +146,43 @@ class Tracer:
             self._stacks.clear()
             self.origin_s = time.perf_counter()
 
+    def set_root_limit(self, max_roots: int | None) -> None:
+        """Bound (or unbound, with ``None``) the retained root-span count."""
+        if max_roots is not None and max_roots < 1:
+            raise ValueError(f"max_roots must be >= 1 or None, got {max_roots}")
+        with self._lock:
+            self.max_roots = max_roots
+            self._enforce_root_limit()
+
+    def _enforce_root_limit(self) -> None:
+        """Drop oldest completed roots beyond the cap (caller holds lock)."""
+        if self.max_roots is None:
+            return
+        while len(self.roots) > self.max_roots:
+            for i, rec in enumerate(self.roots):
+                if rec.end_s:  # never drop an in-flight root
+                    del self.roots[i]
+                    break
+            else:
+                break
+
     @contextmanager
     def span(self, name: str, **attrs: Any) -> Iterator[SpanRecord]:
         """Record one nested span around the ``with`` body."""
         tid = threading.get_ident()
-        rec = SpanRecord(name=name, start_s=time.perf_counter(), attrs=dict(attrs), tid=tid)
+        rec = SpanRecord(
+            name=name,
+            start_s=time.perf_counter(),
+            attrs=dict(attrs),
+            tid=tid,
+            thread=threading.current_thread().name,
+        )
         with self._lock:
             stack = self._stacks.setdefault(tid, [])
             (stack[-1].children if stack else self.roots).append(rec)
             stack.append(rec)
+            if len(stack) == 1:
+                self._enforce_root_limit()
         try:
             yield rec
         finally:

@@ -56,6 +56,7 @@ from ..core.transforms import TransformMatrices, winograd_matrices
 from ..nhwc.tensor import ConvShape, im2col_nhwc
 from ..nhwc.tiles import _gather_padded_region
 from ..obs import counter_add, span
+from ..obs import telemetry
 from .signature import ConvSignature
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -353,6 +354,14 @@ class ConvExecutable:
             variant=sig.variant,
             segments=len(tasks),
             plan_segments=len(self._states),
+        ), telemetry.trace_span(
+            "runtime.conv2d",
+            batch=batch,
+            ic=sig.ic,
+            oc=sig.oc,
+            alpha=sig.alpha,
+            variant=sig.variant,
+            segments=len(tasks),
         ):
             counter_add("conv.calls")
             counter_add(
@@ -362,13 +371,18 @@ class ConvExecutable:
             counter_add("runtime.exec.calls")
             if cfg.threads > 1 and len(tasks) > 1:
                 get_bundle()  # resolve once, outside the pool
+                # ContextVars do not cross pool threads on their own; hand
+                # the active trace position over so per-segment spans parent
+                # under this conv span regardless of which worker runs them.
+                tctx = telemetry.current()
+
+                def run_task(t: _Task) -> None:
+                    with telemetry.activate(tctx):
+                        self._run_task(t, x, y, get_bundle, block_ic)
+
                 try:
                     pool = cfg.pool()
-                    list(
-                        pool.map(
-                            lambda t: self._run_task(t, x, y, get_bundle, block_ic), tasks
-                        )
-                    )
+                    list(pool.map(run_task, tasks))
                 except RuntimeError:
                     # The pool was shut down between pool() and the submits
                     # (server teardown racing a dispatch).  Tasks are
@@ -472,7 +486,14 @@ class ConvExecutable:
             width=seg.width,
             batch0=n0,
             batch1=n1,
-        ):
+        ), telemetry.trace_span(
+            "runtime.segment",
+            kind="winograd",
+            kernel=seg.name,
+            width=seg.width,
+            batch0=n0,
+            batch1=n1,
+        ) as tseg:
             if task.first_chunk:
                 batch = x.shape[0]
                 counter_add("winograd.segments", kernel=st.kernel_name)
@@ -522,7 +543,9 @@ class ConvExecutable:
                         * ic
                         * self.dtype.itemsize,
                     )
-            with span("transform.input", kernel=st.kernel_name):
+            with span("transform.input", kernel=st.kernel_name), telemetry.trace_span(
+                "runtime.transform.input", kernel=st.kernel_name
+            ):
                 # VR[k, n, row, t, c] = sum_a DT[k, a] row_tiles[n, row, t, a, c]
                 # — a dot over ``a`` per element, bit-identical to the
                 # per-fh legacy einsum, computed once per input row.
@@ -542,7 +565,9 @@ class ConvExecutable:
                 m_rows = nc * self.oh * num_tiles
                 v = np.ascontiguousarray(v).reshape(alpha, fh, m_rows, ic)
             block = ic if block_ic is None else min(block_ic, ic)
-            with span("accumulate", kernel=st.kernel_name, block_ic=block):
+            with span("accumulate", kernel=st.kernel_name, block_ic=block), telemetry.trace_span(
+                "runtime.accumulate", kernel=st.kernel_name, block_ic=block
+            ):
                 m = np.zeros((alpha, m_rows, oc), dtype=self.dtype)
                 if block >= ic:
                     # The fh-fused (alpha*FH)-batched matmul, then an
@@ -562,8 +587,11 @@ class ConvExecutable:
                         for c0 in range(0, ic, block):
                             c1 = min(c0 + block, ic)
                             m += np.matmul(vf[:, :, c0:c1], uf[:, c0:c1, :])
-            with span("transform.output", kernel=st.kernel_name):
+            with span("transform.output", kernel=st.kernel_name), telemetry.trace_span(
+                "runtime.transform.output", kernel=st.kernel_name
+            ):
                 out = self._einsum("jk,kmo->mjo", mats.AT, m)
+            tseg.set(tiles=self.oh * num_tiles * nc)
             y[n0:n1, :, seg.start : seg.start + seg.width, :] = out.reshape(
                 nc, self.oh, num_tiles * st.n, oc
             )
@@ -578,7 +606,9 @@ class ConvExecutable:
     ) -> None:
         sig = self.sig
         seg = st.seg
-        with span("segment", kind="gemm", start=seg.start, width=seg.width):
+        with span("segment", kind="gemm", start=seg.start, width=seg.width), telemetry.trace_span(
+            "runtime.segment", kind="gemm", start=seg.start, width=seg.width
+        ):
             counter_add("gemm.tail_segments")
             counter_add("gemm.tail_columns", seg.width)
             operand = get_bundle().gemm_operand

@@ -35,8 +35,17 @@ full queue rejects (`QueueFull`, HTTP 429), deadlines fail loudly
 batch to the interpreted legacy path (``serve.degraded``) without losing
 the response.  All of it is observable through ``serve.*`` obs counters,
 histograms and trace spans.
+
+Production telemetry (``tests/test_serve_telemetry.py``): requests accept
+and echo W3C ``traceparent`` headers, per-request span trees
+(queued/admitted/batched/respond, fan-in linked to the shared batch's
+runtime spans) land in :mod:`repro.obs.telemetry`, ``GET /metrics`` serves
+the Prometheus exposition with sliding-window latency quantiles, and a
+:class:`~repro.obs.slo.SLOConfig` on the scheduler turns ``/healthz`` into
+a burn-rate-aware health check (503 during a fast burn).
 """
 
+from ..obs.slo import SLOConfig, SLOStatus, SLOTracker
 from .batching import Batch, BatchPolicy, BucketKey, DynamicBatcher, PendingRequest
 from .errors import (
     BadRequest,
@@ -67,6 +76,9 @@ __all__ = [
     "PendingRequest",
     "QueueFull",
     "RegisteredModel",
+    "SLOConfig",
+    "SLOStatus",
+    "SLOTracker",
     "Scheduler",
     "SchedulerConfig",
     "SchedulerStats",

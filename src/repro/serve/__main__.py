@@ -26,6 +26,8 @@ import asyncio
 import json
 import sys
 
+from .. import obs
+from ..obs.slo import SLOConfig
 from .batching import BatchPolicy
 from .loadgen import closed_loop, open_loop
 from .scheduler import SchedulerConfig
@@ -55,10 +57,33 @@ def _add_policy_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--queue-depth", type=int, default=256, help="admission bound (default 256)")
     p.add_argument("--timeout-ms", type=float, default=1000.0,
                    help="default request deadline (default 1000)")
+    p.add_argument("--telemetry", action="store_true",
+                   help="enable obs spans, request traces and /metrics content")
+    p.add_argument("--slo-target-ms", type=float, default=None, metavar="MS",
+                   help="enable SLO tracking: latency target in ms")
+    p.add_argument("--slo-error-budget", type=float, default=0.01,
+                   help="allowed bad fraction (default 0.01 = 99%% SLO)")
+    p.add_argument("--slo-window-s", type=float, default=300.0,
+                   help="slow burn window seconds (default 300)")
+    p.add_argument("--slo-fast-window-s", type=float, default=30.0,
+                   help="fast burn window seconds (default 30)")
 
 
 def _build_service(args: argparse.Namespace) -> InferenceService:
     ws = None if args.max_workspace_mb is None else int(args.max_workspace_mb * 1024 * 1024)
+    if args.telemetry:
+        obs.enable()
+        obs.telemetry.enable()
+        # Long-running server: bound the global span forest too.
+        obs.get_tracer().set_root_limit(4096)
+    slo = None
+    if args.slo_target_ms is not None:
+        slo = SLOConfig(
+            latency_target_ms=args.slo_target_ms,
+            error_rate_target=args.slo_error_budget,
+            window_s=args.slo_window_s,
+            fast_window_s=args.slo_fast_window_s,
+        )
     service = InferenceService(
         config=SchedulerConfig(
             policy=BatchPolicy(
@@ -68,6 +93,7 @@ def _build_service(args: argparse.Namespace) -> InferenceService:
             ),
             max_queue_depth=args.queue_depth,
             default_timeout_ms=args.timeout_ms,
+            slo=slo,
         )
     )
     specs = args.model or ["resnet18"]
@@ -93,7 +119,7 @@ async def _run_http(args: argparse.Namespace) -> int:
     async with service:
         host, port = await service.serve_http(args.host, args.port)
         print(f"[serve] listening on http://{host}:{port} "
-              f"(/healthz, /v1/models, /v1/stats, POST /v1/infer)")
+              f"(/healthz, /metrics, /v1/models, /v1/stats, POST /v1/infer)")
         try:
             await asyncio.Event().wait()  # serve until interrupted
         except asyncio.CancelledError:

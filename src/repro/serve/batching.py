@@ -83,6 +83,10 @@ class PendingRequest:
     enqueued_at: float  # monotonic seconds
     deadline: float | None  # monotonic seconds, None = no deadline
     future: Any = None  # asyncio.Future in the scheduler; tests may omit
+    #: Request trace position (:class:`repro.obs.telemetry.TraceContext`)
+    #: when request-scoped telemetry is on; ``None`` otherwise.  Typed
+    #: ``Any`` to keep this module a pure data structure with no obs import.
+    trace: Any = None
     rid: int = field(default_factory=lambda: next(_rid_counter))
 
     @property

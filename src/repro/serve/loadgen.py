@@ -31,6 +31,7 @@ from typing import Awaitable, Callable
 
 import numpy as np
 
+from ..obs import telemetry
 from .errors import DeadlineExceeded, QueueFull, ServeError
 from .registry import RegisteredModel
 from .service import InferenceService
@@ -79,6 +80,12 @@ class LoadgenResult:
     latencies_ms: list[float] = field(repr=False)
     batch_size_histogram: dict[int, int] = field(default_factory=dict)
     outputs: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+    #: Trace ids of the requests this run issued (telemetry on only).
+    trace_ids: list[str] = field(default_factory=list, repr=False)
+    #: Server-attributed latency split per traced request (telemetry on
+    #: only): where the client-observed milliseconds actually went.
+    queued_ms: list[float] = field(default_factory=list, repr=False)
+    execute_ms: list[float] = field(default_factory=list, repr=False)
 
     @property
     def requests_per_sec(self) -> float:
@@ -94,8 +101,27 @@ class LoadgenResult:
     def latency_ms(self, q: float) -> float:
         return percentile(self.latencies_ms, q)
 
+    def server_attribution(self) -> dict[str, dict[str, float]] | None:
+        """Server-side queue-wait vs execute split of the traced requests.
+
+        ``None`` unless request telemetry recorded the scheduler's spans —
+        the sum of the two parts approximates the client latency; the gap
+        is event-loop scheduling and response fan-out.
+        """
+        if not self.queued_ms or not self.execute_ms:
+            return None
+        out: dict[str, dict[str, float]] = {}
+        for name, sample in (("queued_ms", self.queued_ms), ("execute_ms", self.execute_ms)):
+            out[name] = {
+                "p50": percentile(sample, 50),
+                "p95": percentile(sample, 95),
+                "p99": percentile(sample, 99),
+                "mean": sum(sample) / len(sample),
+            }
+        return out
+
     def as_dict(self) -> dict[str, object]:
-        return {
+        out: dict[str, object] = {
             "mode": self.mode,
             "model": self.model,
             "requests": self.requests,
@@ -119,19 +145,32 @@ class LoadgenResult:
             },
             "mean_batch_size": self.mean_batch_size,
         }
+        split = self.server_attribution()
+        if split is not None:
+            out["server_attribution"] = {**split, "traced": len(self.queued_ms)}
+        return out
 
     def report(self) -> str:
         d = self.as_dict()
         lat = d["latency_ms"]
         hist = ", ".join(f"{k}x{v}" for k, v in d["batch_size_histogram"].items())  # type: ignore[union-attr]
-        return (
+        lines = [
             f"[loadgen] {self.mode} {self.model}: {self.completed}/{self.requests} ok "
-            f"in {self.duration_s:.2f}s -> {self.requests_per_sec:.1f} req/s\n"
+            f"in {self.duration_s:.2f}s -> {self.requests_per_sec:.1f} req/s",
             f"  latency ms: p50={lat['p50']:.2f} p95={lat['p95']:.2f} "  # type: ignore[index]
-            f"p99={lat['p99']:.2f} max={lat['max']:.2f}\n"  # type: ignore[index]
-            f"  batch sizes: {hist or '-'}   mean={self.mean_batch_size:.2f}\n"
-            f"  errors: {self.errors or '-'}"
-        )
+            f"p99={lat['p99']:.2f} max={lat['max']:.2f}",  # type: ignore[index]
+            f"  batch sizes: {hist or '-'}   mean={self.mean_batch_size:.2f}",
+            f"  errors: {self.errors or '-'}",
+        ]
+        split = self.server_attribution()
+        if split is not None:
+            q, e = split["queued_ms"], split["execute_ms"]
+            lines.append(
+                f"  server split ms (traced={len(self.queued_ms)}): "
+                f"queued p50={q['p50']:.2f} p99={q['p99']:.2f}  "
+                f"execute p50={e['p50']:.2f} p99={e['p99']:.2f}"
+            )
+        return "\n".join(lines)
 
 
 def _error_key(exc: BaseException) -> str:
@@ -153,15 +192,22 @@ async def _issue(
     latencies: list[float],
     errors: dict[str, int],
     outputs: dict[int, np.ndarray] | None,
+    trace_ids: list[str] | None = None,
 ) -> None:
     x = input_fn(rid)
+    # Behave like a traced client: mint a fresh trace per request (the
+    # in-process analogue of sending a traceparent header) so the finish
+    # step can pull the server's queued/execute attribution back out.
+    trace = telemetry.start_trace() if telemetry.enabled() else None
     t0 = time.perf_counter()
     try:
-        y = await service.infer(model, x, timeout_ms=timeout_ms)
+        y = await service.infer(model, x, timeout_ms=timeout_ms, trace=trace)
     except Exception as exc:  # noqa: B902 - tally, don't crash the run
         errors[_error_key(exc)] = errors.get(_error_key(exc), 0) + 1
         return
     latencies.append((time.perf_counter() - t0) * 1e3)
+    if trace is not None and trace_ids is not None:
+        trace_ids.append(trace.trace_id)
     if outputs is not None:
         outputs[rid] = y
 
@@ -185,18 +231,21 @@ async def closed_loop(
     latencies: list[float] = []
     errors: dict[str, int] = {}
     outputs: dict[int, np.ndarray] | None = {} if collect_outputs else None
+    trace_ids: list[str] = []
     pending = iter(range(requests))
 
     async def worker() -> None:
         for rid in pending:
-            await _issue(service, model, rid, fn, timeout_ms, latencies, errors, outputs)
+            await _issue(
+                service, model, rid, fn, timeout_ms, latencies, errors, outputs, trace_ids
+            )
 
     t0 = time.perf_counter()
     await asyncio.gather(*(worker() for _ in range(min(concurrency, requests))))
     duration = time.perf_counter() - t0
     return _finish(
         service, "closed", model, requests, latencies, errors, outputs, duration,
-        batches_before,
+        batches_before, trace_ids,
     )
 
 
@@ -219,6 +268,7 @@ async def open_loop(
     latencies: list[float] = []
     errors: dict[str, int] = {}
     outputs: dict[int, np.ndarray] | None = {} if collect_outputs else None
+    trace_ids: list[str] = []
     interval = 1.0 / rate_rps
     tasks: list[Awaitable[None]] = []
 
@@ -230,14 +280,17 @@ async def open_loop(
             await asyncio.sleep(delay)
         tasks.append(
             asyncio.ensure_future(
-                _issue(service, model, rid, fn, timeout_ms, latencies, errors, outputs)
+                _issue(
+                    service, model, rid, fn, timeout_ms, latencies, errors, outputs,
+                    trace_ids,
+                )
             )
         )
     await asyncio.gather(*tasks)
     duration = time.perf_counter() - t0
     return _finish(
         service, "open", model, requests, latencies, errors, outputs, duration,
-        batches_before,
+        batches_before, trace_ids,
     )
 
 
@@ -251,6 +304,7 @@ def _finish(
     outputs: dict[int, np.ndarray] | None,
     duration: float,
     batches_before: dict[int, int],
+    trace_ids: list[str] | None = None,
 ) -> LoadgenResult:
     after = service.scheduler.stats().batch_sizes
     delta = {
@@ -258,6 +312,7 @@ def _finish(
         for size, count in after.items()
         if count - batches_before.get(size, 0) > 0
     }
+    split = telemetry.queue_execute_split(trace_ids) if trace_ids else {}
     return LoadgenResult(
         mode=mode,
         model=model,
@@ -268,4 +323,7 @@ def _finish(
         latencies_ms=latencies,
         batch_size_histogram=delta,
         outputs=outputs or {},
+        trace_ids=list(trace_ids or ()),
+        queued_ms=split.get("queued_ms", []),
+        execute_ms=split.get("execute_ms", []),
     )

@@ -48,6 +48,7 @@ from ..dlframe.models.resnet import resnet18, resnet34
 from ..dlframe.models.vgg import vgg16, vgg16x5, vgg16x7, vgg19
 from ..dlframe.serialization import load_weights as _load_weights
 from ..obs import counter_add, span
+from ..obs.telemetry import trace_span
 from .errors import BadRequest, ModelNotFound
 
 __all__ = [
@@ -55,6 +56,7 @@ __all__ = [
     "MODEL_BUILDERS",
     "ModelRegistry",
     "RegisteredModel",
+    "padded_rows",
 ]
 
 #: Smallest row count ever dispatched to the model (see module docstring):
@@ -76,6 +78,19 @@ MODEL_BUILDERS: dict[str, Callable[..., Module]] = {
     "vgg16x5": vgg16x5,
     "vgg16x7": vgg16x7,
 }
+
+
+def padded_rows(k: int, batch_quantum: int = 1) -> int:
+    """Rows actually executed for a ``k``-row batch under ``batch_quantum``.
+
+    The serving analogue of §4.1's tile/wave quantization: execution is
+    quantized to ``batch_quantum`` rows (and never below
+    :data:`MIN_EXECUTE_ROWS`), so ``padded_rows(k) - k`` is the pad-row
+    waste a dispatch pays — the number telemetry attributes per batch.
+    """
+    if batch_quantum < 1:
+        raise ValueError(f"batch_quantum must be >= 1, got {batch_quantum}")
+    return max(MIN_EXECUTE_ROWS, -(-k // batch_quantum) * batch_quantum)
 
 
 def _iter_modules(module: Module) -> Iterator[Module]:
@@ -143,10 +158,8 @@ class RegisteredModel:
         dynamic batch composition returns the same bits as batch-1 serial
         execution (asserted in the test suite).
         """
-        if batch_quantum < 1:
-            raise ValueError(f"batch_quantum must be >= 1, got {batch_quantum}")
         k = rows.shape[0]
-        target = max(MIN_EXECUTE_ROWS, -(-k // batch_quantum) * batch_quantum)
+        target = padded_rows(k, batch_quantum)
         if target != k:
             counter_add("serve.pad.rows", target - k, model=self.name)
             padded = np.zeros((target,) + rows.shape[1:], dtype=rows.dtype)
@@ -154,8 +167,15 @@ class RegisteredModel:
         else:
             padded = rows
         with span("serve.model", model=self.name, rows=k, executed_rows=target):
-            with no_grad():
-                out = self.model(Tensor(padded)).data
+            with trace_span(
+                "serve.model",
+                model=self.name,
+                rows=k,
+                executed_rows=target,
+                pad_rows=target - k,
+            ):
+                with no_grad():
+                    out = self.model(Tensor(padded)).data
         return out[:k]
 
     # -- introspection ------------------------------------------------------

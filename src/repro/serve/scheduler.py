@@ -29,6 +29,7 @@ and calls the runtime :class:`~repro.runtime.engine.ExecutionConfig`'s
 from __future__ import annotations
 
 import asyncio
+import itertools
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -36,12 +37,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..obs import counter_add, gauge_set, observe, span
+from ..obs import counter_add, gauge_set, observe, observe_windowed, span, telemetry
+from ..obs.slo import SLOConfig, SLOStatus, SLOTracker
+from ..obs.telemetry import TraceContext
 from ..runtime import default_config, force_legacy
 from ..runtime.engine import ExecutionConfig
 from .batching import Batch, BatchPolicy, DynamicBatcher, PendingRequest
 from .errors import DeadlineExceeded, QueueFull, ServiceStopped
-from .registry import ModelRegistry
+from .registry import ModelRegistry, padded_rows
 
 __all__ = ["Scheduler", "SchedulerConfig", "SchedulerStats"]
 
@@ -59,6 +62,9 @@ class SchedulerConfig:
     #: the GIL and parallelises internally; more threads mainly help when
     #: many small models share the server.
     execute_threads: int = 1
+    #: Service-level objective evaluated by the flush loop; ``None`` (the
+    #: default) disables SLO tracking entirely.
+    slo: SLOConfig | None = None
 
     def __post_init__(self) -> None:
         if self.max_queue_depth < 1:
@@ -130,6 +136,12 @@ class Scheduler:
         )
         self._stats = SchedulerStats()
         self._stats_lock = threading.Lock()
+        # SLO tracking (None unless configured).  SLOTracker is not
+        # thread-safe on its own; every record/evaluate here runs under
+        # ``_stats_lock``, which serialises loop-side bookkeeping against
+        # status probes from other threads (tests, /healthz).
+        self._slo = SLOTracker(self.config.slo) if self.config.slo is not None else None
+        self._batch_seq = itertools.count(1)
         self._wake: asyncio.Event | None = None
         self._loop_task: asyncio.Task | None = None
         self._inflight: set[asyncio.Task] = set()
@@ -180,6 +192,7 @@ class Scheduler:
         # elsewhere, and safe to repeat (see ExecutionConfig.shutdown).
         (self._exec_config or default_config()).shutdown()
         self._gauge_depth()
+        self._publish_slo()
 
     # -- submission ----------------------------------------------------------
 
@@ -189,8 +202,14 @@ class Scheduler:
         x: np.ndarray,
         *,
         timeout_ms: float | None | object = "default",
+        trace: TraceContext | None = None,
     ) -> np.ndarray:
         """Admit one request and await its result.
+
+        ``trace`` is the request's trace position (the HTTP front end
+        builds it from the client's ``traceparent`` header); when omitted
+        and telemetry is on, the request continues the caller's active
+        trace or starts a fresh one.
 
         Raises :class:`ModelNotFound` / :class:`BadRequest` synchronously,
         :class:`QueueFull` when admission fails, :class:`DeadlineExceeded`
@@ -201,11 +220,22 @@ class Scheduler:
             raise ServiceStopped("scheduler is not running")
         entry = self.registry.get(model)
         rows, squeeze = entry.validate(x)
+        if trace is None and telemetry.enabled():
+            cur = telemetry.current()
+            trace = cur.child() if cur is not None else telemetry.start_trace()
         depth = self._batcher.pending_requests()
         if depth >= self.config.max_queue_depth:
             with self._stats_lock:
                 self._stats.rejected += 1
+                # A rejection is a served error: overload burns SLO budget.
+                if self._slo is not None:
+                    self._slo.record(0.0, error=True)
             counter_add("serve.rejected", model=model)
+            now = time.monotonic()
+            telemetry.record_span(
+                "serve.request", trace, now, now, root=True,
+                model=model, error="QueueFull", queue_depth=depth,
+            )
             raise QueueFull(
                 f"queue full ({depth}/{self.config.max_queue_depth} requests); retry later"
             )
@@ -220,6 +250,7 @@ class Scheduler:
             enqueued_at=now,
             deadline=deadline,
             future=asyncio.get_running_loop().create_future(),
+            trace=trace,
         )
         with self._stats_lock:
             self._stats.submitted += 1
@@ -260,6 +291,7 @@ class Scheduler:
                 self._inflight.add(task)
                 task.add_done_callback(self._inflight.discard)
             self._gauge_depth()
+            self._publish_slo()
 
     async def _run_batch(self, batch: Batch) -> None:
         now = time.monotonic()
@@ -272,14 +304,17 @@ class Scheduler:
         if not live:
             return
         batch = Batch(key=batch.key, requests=live)
+        bid = next(self._batch_seq)
+        dispatched = time.monotonic()
         loop = asyncio.get_running_loop()
         try:
-            out = await loop.run_in_executor(self._pool, self._execute, batch)
+            out = await loop.run_in_executor(self._pool, self._execute, batch, bid)
         except Exception as exc:  # noqa: B902 - fan the failure out per request
             for req in live:
                 self._fail(req, exc)
             return
         done = time.monotonic()
+        pad = padded_rows(batch.rows, self.config.policy.batch_quantum) - batch.rows
         with self._stats_lock:
             self._stats.batches += 1
             self._stats.batch_sizes[batch.rows] = (
@@ -293,18 +328,37 @@ class Scheduler:
                 self._stats.completed += 1
                 self._stats.latency_ms_sum += latency_ms
                 self._stats.latency_ms_max = max(self._stats.latency_ms_max, latency_ms)
+                if self._slo is not None:
+                    self._slo.record(latency_ms)
             observe("serve.latency_ms", latency_ms, model=req.model)
+            observe_windowed("serve.latency.window_ms", latency_ms, model=req.model)
+            self._record_request_trace(req, dispatched, done, bid, pad)
             if not req.future.done():
                 req.future.set_result(part)
 
-    def _execute(self, batch: Batch) -> np.ndarray:
+    def _execute(self, batch: Batch, bid: int = 0) -> np.ndarray:
         """Worker-thread body: one forward pass, legacy fallback on failure."""
         entry = self.registry.get(batch.key[0])
         stacked = batch.stacked()
+        # The batch is its own trace: N request traces fan *in* to it, so it
+        # belongs to none of them.  Fan-in links name every request's server
+        # span; the runtime's transform/gemm/tail spans nest under this one
+        # via the contextvar the ``activate`` scope sets in this thread.
+        bctx = telemetry.start_trace() if telemetry.enabled() else None
+        pad = padded_rows(batch.rows, self.config.policy.batch_quantum) - batch.rows
         with span(
             "serve.batch", model=batch.key[0], requests=len(batch.requests), rows=batch.rows
-        ):
+        ), telemetry.activate(bctx), telemetry.trace_span(
+            "serve.batch",
+            batch_id=bid,
+            model=batch.key[0],
+            requests=len(batch.requests),
+            rows=batch.rows,
+            pad_rows=pad,
+        ) as bspan:
             for req in batch.requests:
+                if req.trace is not None:
+                    bspan.add_link(req.trace.trace_id, req.trace.span_id)
                 with span(
                     "serve.request",
                     rid=req.rid,
@@ -324,6 +378,7 @@ class Scheduler:
                 with self._stats_lock:
                     self._stats.degraded_batches += 1
                 counter_add("serve.degraded", model=batch.key[0])
+                bspan.set(degraded=True)
                 with span("serve.batch.degraded", model=batch.key[0]), force_legacy():
                     return entry.infer_rows(
                         stacked, batch_quantum=self.config.policy.batch_quantum
@@ -332,15 +387,75 @@ class Scheduler:
     # -- bookkeeping ---------------------------------------------------------
 
     def _fail(self, req: PendingRequest, exc: Exception, *, expired: bool = False) -> None:
+        now = time.monotonic()
+        latency_ms = (now - req.enqueued_at) * 1e3
         with self._stats_lock:
             if expired:
                 self._stats.expired += 1
             else:
                 self._stats.failed += 1
+            if self._slo is not None:
+                self._slo.record(latency_ms, error=True)
         if expired:
             counter_add("serve.expired", model=req.model)
+        if req.trace is not None:
+            telemetry.record_span(
+                "serve.request", req.trace, req.enqueued_at, now, root=True,
+                rid=req.rid, model=req.model, rows=req.nrows,
+                error=type(exc).__name__,
+            )
+            telemetry.record_span(
+                "serve.queued", req.trace, req.enqueued_at, now, model=req.model
+            )
         if req.future is not None and not req.future.done():
             req.future.set_exception(exc)
+
+    def _record_request_trace(
+        self, req: PendingRequest, dispatched: float, done: float, bid: int, pad: int
+    ) -> None:
+        """Reconstruct the request's span tree once its outcome is known.
+
+        Batching destroys request identity mid-flight, so the per-request
+        spans are recorded retroactively from scheduler bookkeeping — all on
+        the ``time.monotonic`` clock the live batch spans use, so the tree
+        lines up: ``serve.request`` (the server root the batch span links
+        to) over ``admitted -> queued -> batched -> respond``.
+        """
+        ctx = req.trace
+        if ctx is None:
+            return
+        telemetry.record_span(
+            "serve.request", ctx, req.enqueued_at, done, root=True,
+            rid=req.rid, model=req.model, rows=req.nrows,
+        )
+        telemetry.record_span(
+            "serve.admitted", ctx, req.enqueued_at, req.enqueued_at, model=req.model
+        )
+        telemetry.record_span(
+            "serve.queued", ctx, req.enqueued_at, dispatched, model=req.model
+        )
+        telemetry.record_span(
+            "serve.batched", ctx, dispatched, done,
+            model=req.model, batch_id=bid, pad_rows=pad,
+        )
+        telemetry.record_span("serve.respond", ctx, done, done, model=req.model)
+
+    # -- SLO -----------------------------------------------------------------
+
+    def slo_status(self) -> SLOStatus | None:
+        """Evaluate the configured SLO now; ``None`` when none is set."""
+        if self._slo is None:
+            return None
+        with self._stats_lock:
+            return self._slo.evaluate()
+
+    def _publish_slo(self) -> None:
+        if self._slo is None:
+            return
+        with self._stats_lock:
+            gauges = self._slo.gauges()
+        for name, value in gauges.items():
+            gauge_set(name, value)
 
     def _gauge_depth(self) -> None:
         gauge_set("serve.queue.depth", self._batcher.pending_requests())

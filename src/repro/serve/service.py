@@ -10,11 +10,17 @@ to a :class:`~repro.serve.scheduler.Scheduler` and exposes:
   endpoint over ``asyncio.start_server``:
 
   ====================  =====================================================
-  ``GET /healthz``      liveness: ``{"status": "ok"}``
+  ``GET /healthz``      liveness: ``{"status": "ok"}``; with an SLO
+                        configured, answers **503** while the error budget
+                        fast-burns (see :mod:`repro.obs.slo`)
+  ``GET /metrics``      Prometheus text exposition of the obs registry
+                        (:mod:`repro.obs.promexport`)
   ``GET /v1/models``    registered models and their warmup/version state
-  ``GET /v1/stats``     scheduler + queue counters
+  ``GET /v1/stats``     scheduler + queue counters (+ ``slo`` when set)
   ``POST /v1/infer``    ``{"model": name, "inputs": nested-list,``
-                        ``"timeout_ms": optional}`` -> ``{"outputs": ...}``
+                        ``"timeout_ms": optional}`` -> ``{"outputs": ...}``;
+                        accepts and echoes a W3C ``traceparent`` header when
+                        request telemetry is on
   ====================  =====================================================
 
 Error mapping is the typed error surface's ``http_status``: unknown model
@@ -32,6 +38,8 @@ import time
 
 import numpy as np
 
+from ..obs import PROMETHEUS_CONTENT_TYPE, render_prometheus, telemetry
+from ..obs.telemetry import TraceContext
 from .errors import BadRequest, ServeError
 from .registry import ModelRegistry
 from .scheduler import Scheduler, SchedulerConfig
@@ -88,17 +96,22 @@ class InferenceService:
         x: np.ndarray,
         *,
         timeout_ms: float | None | object = "default",
+        trace: TraceContext | None = None,
     ) -> np.ndarray:
         """Submit one request through the dynamic batcher and await it."""
-        return await self.scheduler.submit(model, x, timeout_ms=timeout_ms)
+        return await self.scheduler.submit(model, x, timeout_ms=timeout_ms, trace=trace)
 
     def stats(self) -> dict[str, object]:
-        return {
+        out: dict[str, object] = {
             "uptime_s": time.monotonic() - self._started_at,
             "queue_depth": self.scheduler.queue_depth,
             "scheduler": self.scheduler.stats().as_dict(),
             "models": self.registry.describe(),
         }
+        slo = self.scheduler.slo_status()
+        if slo is not None:
+            out["slo"] = slo.as_dict()
+        return out
 
     # -- HTTP front end ------------------------------------------------------
 
@@ -121,18 +134,22 @@ class InferenceService:
                 request = await self._read_request(reader)
                 if request is None:
                     break
-                method, path, body = request
-                status, payload = await self._dispatch(method, path, body)
-                data = (json.dumps(payload) + "\n").encode()
-                writer.write(
-                    (
-                        f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
-                        "Content-Type: application/json\r\n"
-                        f"Content-Length: {len(data)}\r\n"
-                        "Connection: keep-alive\r\n\r\n"
-                    ).encode()
-                    + data
-                )
+                method, path, headers, body = request
+                status, payload, extra = await self._dispatch(method, path, headers, body)
+                if isinstance(payload, str):
+                    data = payload.encode()
+                    ctype = extra.pop("content-type", "text/plain; charset=utf-8")
+                else:
+                    data = (json.dumps(payload) + "\n").encode()
+                    ctype = "application/json"
+                head = [
+                    f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+                    f"Content-Type: {ctype}",
+                    f"Content-Length: {len(data)}",
+                    "Connection: keep-alive",
+                ]
+                head.extend(f"{k}: {v}" for k, v in extra.items())
+                writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + data)
                 await writer.drain()
         except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
             pass
@@ -148,7 +165,7 @@ class InferenceService:
     @staticmethod
     async def _read_request(
         reader: asyncio.StreamReader,
-    ) -> tuple[str, str, bytes] | None:
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
         line = await reader.readline()
         if not line:
             return None
@@ -156,57 +173,99 @@ class InferenceService:
             method, path, _ = line.decode("latin-1").split(" ", 2)
         except ValueError:
             return None
-        length = 0
+        headers: dict[str, str] = {}
         while True:
             header = await reader.readline()
             if header in (b"\r\n", b"\n", b""):
                 break
             name, _, value = header.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
-                try:
-                    length = min(int(value.strip()), _MAX_BODY_BYTES)
-                except ValueError:
-                    length = 0
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = min(int(headers.get("content-length", "0")), _MAX_BODY_BYTES)
+        except ValueError:
+            length = 0
         body = await reader.readexactly(length) if length else b""
-        return method.upper(), path, body
+        return method.upper(), path, headers, body
 
     async def _dispatch(
-        self, method: str, path: str, body: bytes
-    ) -> tuple[int, dict[str, object]]:
+        self, method: str, path: str, headers: dict[str, str], body: bytes
+    ) -> tuple[int, dict[str, object] | str, dict[str, str]]:
+        """Route one request; returns ``(status, payload, extra headers)``.
+
+        A ``dict`` payload is sent as JSON, a ``str`` payload verbatim with
+        the ``content-type`` named in the extra headers (the Prometheus
+        exposition route).
+        """
         try:
             if method == "GET" and path == "/healthz":
-                return 200, {"status": "ok"}
+                return self._handle_healthz()
+            if method == "GET" and path == "/metrics":
+                return 200, render_prometheus(), {"content-type": PROMETHEUS_CONTENT_TYPE}
             if method == "GET" and path == "/v1/models":
-                return 200, {"models": self.registry.describe()}
+                return 200, {"models": self.registry.describe()}, {}
             if method == "GET" and path == "/v1/stats":
-                return 200, self.stats()
+                return 200, self.stats(), {}
             if method == "POST" and path == "/v1/infer":
-                return await self._handle_infer(body)
-            return 404, {"error": f"no route {method} {path}"}
+                return await self._handle_infer(headers, body)
+            return 404, {"error": f"no route {method} {path}"}, {}
         except ServeError as exc:
-            return exc.http_status, {"error": str(exc), "kind": type(exc).__name__}
+            return exc.http_status, {"error": str(exc), "kind": type(exc).__name__}, {}
         except Exception as exc:  # noqa: B902 - last-resort 500, never a hang
-            return 500, {"error": str(exc), "kind": type(exc).__name__}
+            return 500, {"error": str(exc), "kind": type(exc).__name__}, {}
 
-    async def _handle_infer(self, body: bytes) -> tuple[int, dict[str, object]]:
+    def _handle_healthz(self) -> tuple[int, dict[str, object], dict[str, str]]:
+        """Liveness, SLO-aware: a fast burn answers 503 so load balancers
+        shed traffic while the error budget is being torched."""
+        slo = self.scheduler.slo_status()
+        if slo is None:
+            return 200, {"status": "ok"}, {}
+        if slo.fast_burn:
+            return 503, {"status": "degraded", "slo": slo.as_dict()}, {}
+        return 200, {"status": "ok", "slo": slo.as_dict()}, {}
+
+    async def _handle_infer(
+        self, headers: dict[str, str], body: bytes
+    ) -> tuple[int, dict[str, object] | str, dict[str, str]]:
+        # Continue the client's W3C trace (or start one) before any parsing
+        # can fail, so even error responses carry the traceparent back.
+        trace: TraceContext | None = None
+        extra: dict[str, str] = {}
+        if telemetry.enabled():
+            trace = telemetry.start_trace(headers.get("traceparent"))
+            extra["traceparent"] = trace.traceparent()
         try:
-            payload = json.loads(body.decode())
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise BadRequest(f"request body is not valid JSON: {exc}") from exc
-        if not isinstance(payload, dict) or "model" not in payload or "inputs" not in payload:
-            raise BadRequest('POST /v1/infer expects {"model": ..., "inputs": ...}')
-        try:
-            x = np.asarray(payload["inputs"], dtype=np.float32)
-        except (TypeError, ValueError) as exc:
-            raise BadRequest(f"inputs are not a numeric array: {exc}") from exc
-        timeout_ms = payload.get("timeout_ms", "default")
-        t0 = time.perf_counter()
-        out = await self.infer(str(payload["model"]), x, timeout_ms=timeout_ms)
-        return 200, {
+            try:
+                payload = json.loads(body.decode())
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise BadRequest(f"request body is not valid JSON: {exc}") from exc
+            if (
+                not isinstance(payload, dict)
+                or "model" not in payload
+                or "inputs" not in payload
+            ):
+                raise BadRequest('POST /v1/infer expects {"model": ..., "inputs": ...}')
+            try:
+                x = np.asarray(payload["inputs"], dtype=np.float32)
+            except (TypeError, ValueError) as exc:
+                raise BadRequest(f"inputs are not a numeric array: {exc}") from exc
+            timeout_ms = payload.get("timeout_ms", "default")
+            t0 = time.perf_counter()
+            out = await self.infer(
+                str(payload["model"]), x, timeout_ms=timeout_ms, trace=trace
+            )
+        except ServeError as exc:
+            err: dict[str, object] = {"error": str(exc), "kind": type(exc).__name__}
+            if trace is not None:
+                err["trace_id"] = trace.trace_id
+            return exc.http_status, err, extra
+        response: dict[str, object] = {
             "model": payload["model"],
             "outputs": out.tolist(),
             "latency_ms": (time.perf_counter() - t0) * 1e3,
         }
+        if trace is not None:
+            response["trace_id"] = trace.trace_id
+        return 200, response, extra
 
 
 _REASONS = {

@@ -1,0 +1,407 @@
+"""End-to-end telemetry through the serving stack.
+
+The acceptance criteria under test: a traced ``POST /v1/infer`` yields a
+span tree whose trace id links the HTTP request to the batch's runtime
+spans (fan-in links, exported as Chrome-trace flows); ``GET /metrics``
+serves parseable Prometheus text with sliding-window quantiles; an SLO
+fast burn drives ``/healthz`` to 503; and the load generator reports the
+server-attributed queue-wait vs execute split of its own requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs, runtime
+from repro.obs import PROMETHEUS_CONTENT_TYPE, telemetry
+from repro.runtime.engine import DEFAULT_WORKSPACE_BYTES
+from repro.serve import (
+    BatchPolicy,
+    InferenceService,
+    QueueFull,
+    SchedulerConfig,
+    SLOConfig,
+    closed_loop,
+)
+from tests.test_obs_telemetry import parse_exposition
+
+ARCH = "resnet18"
+WIDTH = 0.125
+IMAGE = 32
+
+
+@pytest.fixture(autouse=True)
+def _fresh_stack():
+    runtime.clear_cache()
+    runtime.configure(threads=0, workspace_bytes=DEFAULT_WORKSPACE_BYTES)
+    obs.disable()
+    obs.reset()
+    obs.get_registry().reset()
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    obs.disable()
+    obs.reset()
+    obs.get_registry().reset()
+    telemetry.disable()
+    telemetry.reset()
+    runtime.clear_cache()
+
+
+@pytest.fixture
+def _telemetry_on():
+    obs.enable()
+    telemetry.enable()
+    yield
+
+
+def _service(**config_kw) -> InferenceService:
+    config_kw.setdefault(
+        "policy", BatchPolicy(max_batch_size=8, max_queue_delay_ms=2.0)
+    )
+    config_kw.setdefault("default_timeout_ms", None)
+    service = InferenceService(config=SchedulerConfig(**config_kw))
+    service.registry.register("net", arch=ARCH, width_mult=WIDTH, image=IMAGE)
+    return service
+
+
+def _x(seed: int = 0) -> np.ndarray:
+    return (
+        np.random.default_rng(seed)
+        .standard_normal((IMAGE, IMAGE, 3))
+        .astype(np.float32)
+    )
+
+
+async def _roundtrip(reader, writer, method, path, body=None, headers=None):
+    """One keep-alive HTTP exchange; returns (status, headers, payload)."""
+    data = b"" if body is None else json.dumps(body).encode()
+    head = [f"{method} {path} HTTP/1.1", f"Content-Length: {len(data)}"]
+    head.extend(f"{k}: {v}" for k, v in (headers or {}).items())
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + data)
+    await writer.drain()
+    status = int((await reader.readline()).decode().split()[1])
+    resp_headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        resp_headers[name.strip().lower()] = value.strip()
+    raw = await reader.readexactly(int(resp_headers.get("content-length", "0")))
+    if resp_headers.get("content-type", "").startswith("application/json"):
+        return status, resp_headers, json.loads(raw)
+    return status, resp_headers, raw.decode()
+
+
+CLIENT_TRACE = "ab" * 16
+CLIENT_SPAN = "cd" * 8
+
+
+class TestTraceparentOverHttp:
+    def test_traced_request_yields_linked_span_tree(self, _telemetry_on):
+        async def scenario():
+            service = _service()
+            async with service:
+                host, port = await service.serve_http("127.0.0.1", 0)
+                reader, writer = await asyncio.open_connection(host, port)
+                status, headers, body = await _roundtrip(
+                    reader, writer, "POST", "/v1/infer",
+                    {"model": "net", "inputs": _x().tolist()},
+                    headers={"traceparent": f"00-{CLIENT_TRACE}-{CLIENT_SPAN}-01"},
+                )
+                writer.close()
+            return status, headers, body
+
+        status, headers, body = asyncio.run(scenario())
+        assert status == 200
+
+        # The client's trace continues: same trace id, fresh span id.
+        assert body["trace_id"] == CLIENT_TRACE
+        version, trace_id, span_id, flags = headers["traceparent"].split("-")
+        assert (version, trace_id, flags) == ("00", CLIENT_TRACE, "01")
+        assert span_id != CLIENT_SPAN
+
+        # Request span tree: serve.request root carrying the server span id,
+        # with the queued -> batched lifecycle below it.
+        store = telemetry.get_store()
+        roots = store.tree(CLIENT_TRACE)
+        assert [r["name"] for r in roots] == ["serve.request"]
+        root = roots[0]
+        assert root["span_id"] == span_id
+        children = [c["name"] for c in root["children"]]
+        assert children == ["serve.admitted", "serve.queued", "serve.batched", "serve.respond"]
+        batched = root["children"][2]
+        assert batched["attrs"]["batch_id"] >= 1
+        assert batched["attrs"]["pad_rows"] >= 0
+
+        # Fan-in: some batch trace links back to this request's server span
+        # and carries the runtime's transform/gemm spans.
+        batch_traces = [
+            tid for tid in store.trace_ids()
+            if any(
+                s.name == "serve.batch" and (CLIENT_TRACE, span_id) in s.links
+                for s in store.spans(tid)
+            )
+        ]
+        assert len(batch_traces) == 1
+        batch_spans = {s.name for s in store.spans(batch_traces[0])}
+        assert "runtime.conv2d" in batch_spans
+        assert "runtime.segment" in batch_spans
+
+        # The Chrome export draws that link as a flow (s/f pair) between the
+        # request's named row and the batch's executor row.
+        doc = store.chrome_trace()
+        flows = [e for e in doc["traceEvents"] if e.get("cat") == "link"]
+        assert {e["ph"] for e in flows} == {"s", "f"}
+        rows = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e.get("name") == "thread_name"
+        }
+        assert f"request {CLIENT_TRACE[:8]}" in rows
+        assert any(r.startswith("repro-serve") for r in rows)
+
+    def test_malformed_traceparent_starts_fresh_trace(self, _telemetry_on):
+        async def scenario():
+            service = _service()
+            async with service:
+                host, port = await service.serve_http("127.0.0.1", 0)
+                reader, writer = await asyncio.open_connection(host, port)
+                status, headers, body = await _roundtrip(
+                    reader, writer, "POST", "/v1/infer",
+                    {"model": "net", "inputs": _x().tolist()},
+                    headers={"traceparent": "not-a-w3c-header"},
+                )
+                writer.close()
+            return status, headers, body
+
+        status, headers, body = asyncio.run(scenario())
+        assert status == 200
+        trace_id = body["trace_id"]
+        assert len(trace_id) == 32 and trace_id != CLIENT_TRACE
+        assert headers["traceparent"].split("-")[1] == trace_id
+
+    def test_error_response_still_carries_traceparent(self, _telemetry_on):
+        async def scenario():
+            service = _service()
+            async with service:
+                host, port = await service.serve_http("127.0.0.1", 0)
+                reader, writer = await asyncio.open_connection(host, port)
+                status, headers, body = await _roundtrip(
+                    reader, writer, "POST", "/v1/infer",
+                    {"model": "ghost", "inputs": _x().tolist()},
+                    headers={"traceparent": f"00-{CLIENT_TRACE}-{CLIENT_SPAN}-01"},
+                )
+                writer.close()
+            return status, headers, body
+
+        status, headers, body = asyncio.run(scenario())
+        assert status == 404 and body["kind"] == "ModelNotFound"
+        assert body["trace_id"] == CLIENT_TRACE
+        assert headers["traceparent"].split("-")[1] == CLIENT_TRACE
+
+    def test_telemetry_off_means_no_trace_surface(self):
+        async def scenario():
+            service = _service()
+            async with service:
+                host, port = await service.serve_http("127.0.0.1", 0)
+                reader, writer = await asyncio.open_connection(host, port)
+                status, headers, body = await _roundtrip(
+                    reader, writer, "POST", "/v1/infer",
+                    {"model": "net", "inputs": _x().tolist()},
+                    headers={"traceparent": f"00-{CLIENT_TRACE}-{CLIENT_SPAN}-01"},
+                )
+                writer.close()
+            return status, headers, body
+
+        status, headers, body = asyncio.run(scenario())
+        assert status == 200
+        assert "traceparent" not in headers and "trace_id" not in body
+        assert telemetry.get_store().span_count() == 0
+
+
+class TestMetricsEndpoint:
+    def test_scrape_parses_with_windowed_quantiles(self, _telemetry_on):
+        async def scenario():
+            service = _service()
+            async with service:
+                host, port = await service.serve_http("127.0.0.1", 0)
+                reader, writer = await asyncio.open_connection(host, port)
+                for seed in range(3):
+                    await _roundtrip(
+                        reader, writer, "POST", "/v1/infer",
+                        {"model": "net", "inputs": _x(seed).tolist()},
+                    )
+                first = await _roundtrip(reader, writer, "GET", "/metrics")
+                await _roundtrip(
+                    reader, writer, "POST", "/v1/infer",
+                    {"model": "net", "inputs": _x(9).tolist()},
+                )
+                second = await _roundtrip(reader, writer, "GET", "/metrics")
+                writer.close()
+            return first, second
+
+        (s1, h1, text1), (s2, _h2, text2) = asyncio.run(scenario())
+        assert s1 == s2 == 200
+        assert h1["content-type"] == PROMETHEUS_CONTENT_TYPE
+
+        doc1, doc2 = parse_exposition(text1), parse_exposition(text2)
+        key = (("model", "net"),)
+        # Counters are monotone across scrapes.
+        assert doc1["serve_requests_total"][key] == 3.0
+        assert doc2["serve_requests_total"][key] == 4.0
+        for name, kind in doc1["__types__"].items():
+            if kind == "counter":
+                for labels, value in doc1[name].items():
+                    assert doc2[name][labels] >= value
+        # Cumulative histogram family is consistent...
+        buckets = {dict(k)["le"]: v for k, v in doc2["serve_latency_window_ms_bucket"].items()}
+        assert buckets["+Inf"] == doc2["serve_latency_window_ms_count"][key] == 4.0
+        # ... and the windowed quantile gauges answer "p99 over the last
+        # minute", which the cumulative family cannot.
+        q = {
+            dict(k)["quantile"]: v
+            for k, v in doc2["serve_latency_window_ms_window"].items()
+        }
+        assert 0.0 < q["0.5"] <= q["0.9"] <= q["0.99"]
+        assert doc2["serve_latency_window_ms_window_count"][key] == 4.0
+
+    def test_scrape_works_with_telemetry_off(self):
+        async def scenario():
+            service = _service()
+            async with service:
+                host, port = await service.serve_http("127.0.0.1", 0)
+                reader, writer = await asyncio.open_connection(host, port)
+                out = await _roundtrip(reader, writer, "GET", "/metrics")
+                writer.close()
+            return out
+
+        status, headers, text = asyncio.run(scenario())
+        assert status == 200
+        assert headers["content-type"] == PROMETHEUS_CONTENT_TYPE
+        parse_exposition(text)  # must stay parseable (possibly empty)
+
+
+class TestHealthzSLO:
+    def test_healthy_slo_reports_200_with_status(self):
+        async def scenario():
+            service = _service(slo=SLOConfig(latency_target_ms=60_000.0))
+            async with service:
+                await service.infer("net", _x())
+                host, port = await service.serve_http("127.0.0.1", 0)
+                reader, writer = await asyncio.open_connection(host, port)
+                out = await _roundtrip(reader, writer, "GET", "/healthz")
+                writer.close()
+            return out
+
+        status, _headers, body = asyncio.run(scenario())
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["slo"]["good"] >= 1 and body["slo"]["fast_burn"] is False
+
+    def test_fast_burn_degrades_healthz_to_503(self):
+        async def scenario():
+            # An impossible latency target: every completed request is a bad
+            # event, burning at 100x budget in both windows.
+            service = _service(slo=SLOConfig(latency_target_ms=0.001))
+            async with service:
+                for seed in range(4):
+                    await service.infer("net", _x(seed))
+                host, port = await service.serve_http("127.0.0.1", 0)
+                reader, writer = await asyncio.open_connection(host, port)
+                health = await _roundtrip(reader, writer, "GET", "/healthz")
+                stats = await _roundtrip(reader, writer, "GET", "/v1/stats")
+                writer.close()
+            return health, stats
+
+        (status, _headers, body), (_s, _h, stats) = asyncio.run(scenario())
+        assert status == 503
+        assert body["status"] == "degraded"
+        assert body["slo"]["fast_burn"] is True
+        assert body["slo"]["bad"] >= 4 and body["slo"]["budget_remaining"] == 0.0
+        assert stats["slo"]["fast_burn"] is True
+
+    def test_healthz_without_slo_stays_plain(self):
+        async def scenario():
+            service = _service()
+            async with service:
+                host, port = await service.serve_http("127.0.0.1", 0)
+                reader, writer = await asyncio.open_connection(host, port)
+                out = await _roundtrip(reader, writer, "GET", "/healthz")
+                writer.close()
+            return out
+
+        status, _headers, body = asyncio.run(scenario())
+        assert (status, body) == (200, {"status": "ok"})
+
+    def test_rejection_burns_error_budget(self):
+        async def scenario():
+            service = _service(
+                policy=BatchPolicy(max_batch_size=64, max_queue_delay_ms=10_000.0),
+                max_queue_depth=1,
+                slo=SLOConfig(latency_target_ms=60_000.0),
+            )
+            async with service:
+                blocker = asyncio.ensure_future(service.infer("net", _x()))
+                await asyncio.sleep(0)  # let the blocker enter the queue
+                with pytest.raises(QueueFull):
+                    await service.infer("net", _x(1))
+                status = service.scheduler.slo_status()
+                # Unblock teardown: drain executes the queued request.
+                service.scheduler._batcher.policy.max_queue_delay_ms = 0.0
+                result = await blocker
+            return status, result
+
+        status, result = asyncio.run(scenario())
+        assert status.bad >= 1  # the 429 spent budget
+        assert result.shape == (10,)
+
+    def test_slo_gauges_published_on_stop(self, _telemetry_on):
+        async def scenario():
+            service = _service(slo=SLOConfig(latency_target_ms=60_000.0))
+            async with service:
+                await service.infer("net", _x())
+            return obs.get_registry().get("serve.slo.good")
+
+        gauge = asyncio.run(scenario())
+        assert gauge is not None and gauge.value() == 1.0
+
+
+class TestLoadgenAttribution:
+    def test_split_reported_when_traced(self, _telemetry_on):
+        async def scenario():
+            service = _service()
+            async with service:
+                return await closed_loop(
+                    service, "net", requests=12, concurrency=4
+                )
+
+        result = asyncio.run(scenario())
+        assert result.completed == 12
+        assert len(result.trace_ids) == 12
+        assert len(set(result.trace_ids)) == 12  # one fresh trace each
+        assert len(result.queued_ms) == 12 and len(result.execute_ms) == 12
+        split = result.server_attribution()
+        assert split is not None
+        assert split["execute_ms"]["p50"] > 0.0
+        assert split["queued_ms"]["p99"] >= split["queued_ms"]["p50"] >= 0.0
+        doc = result.as_dict()
+        assert doc["server_attribution"]["traced"] == 12
+        assert "server split ms (traced=12)" in result.report()
+
+    def test_no_split_when_untraced(self):
+        async def scenario():
+            service = _service()
+            async with service:
+                return await closed_loop(service, "net", requests=4, concurrency=2)
+
+        result = asyncio.run(scenario())
+        assert result.completed == 4
+        assert result.trace_ids == [] and result.server_attribution() is None
+        assert "server_attribution" not in result.as_dict()
+        assert "server split" not in result.report()
