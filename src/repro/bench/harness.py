@@ -4,13 +4,73 @@ Each ``benchmarks/bench_*.py`` regenerates one paper artifact; these helpers
 keep their output uniform: a title block naming the artifact, aligned
 columns, an ASCII sparkline for "figure" series, and a paper-vs-measured
 footer so EXPERIMENTS.md rows can be pasted from bench output.
+
+:func:`measure_ns` is the single wallclock primitive every suite times
+with: ``time.perf_counter_ns`` (monotonic, ns resolution — never
+``time.time``, which steps under NTP), warmup reps excluded, and both min
+and median reported.  Median is what baselines pin (robust to one noisy
+rep on shared CI runners); min is the contention-free floor calibration
+and profiling compare against.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
 
-__all__ = ["banner", "table", "series_line", "fmt_ofm", "speedup_band", "fmt_delta"]
+__all__ = [
+    "Timing",
+    "measure_ns",
+    "banner",
+    "table",
+    "series_line",
+    "fmt_ofm",
+    "speedup_band",
+    "fmt_delta",
+]
+
+
+@dataclass(frozen=True)
+class Timing:
+    """Wallclock samples of one benchmarked callable, in ns."""
+
+    samples_ns: tuple[int, ...]
+
+    @property
+    def min_ns(self) -> float:
+        return float(min(self.samples_ns))
+
+    @property
+    def median_ns(self) -> float:
+        return float(statistics.median(self.samples_ns))
+
+    @property
+    def mean_ns(self) -> float:
+        return float(statistics.fmean(self.samples_ns))
+
+    @property
+    def min_ms(self) -> float:
+        return self.min_ns / 1e6
+
+    @property
+    def median_ms(self) -> float:
+        return self.median_ns / 1e6
+
+
+def measure_ns(fn: Callable[[], object], *, reps: int = 5, warmup: int = 1) -> Timing:
+    """Time ``fn`` with ``perf_counter_ns``: ``warmup`` untimed, ``reps`` timed."""
+    if reps < 1:
+        raise ValueError(f"reps must be >= 1, got {reps}")
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(reps):
+        t0 = time.perf_counter_ns()
+        fn()
+        samples.append(time.perf_counter_ns() - t0)
+    return Timing(samples_ns=tuple(samples))
 
 _BLOCKS = "▁▂▃▄▅▆▇█"
 

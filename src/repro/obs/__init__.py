@@ -54,6 +54,15 @@ from .metrics import (
     observe,
     observe_windowed,
 )
+from .perfledger import (
+    DRIFT_BAND,
+    LedgerEntry,
+    LedgerSample,
+    PerfLedger,
+    get_ledger,
+    record_execution,
+    reset_ledger,
+)
 from .promexport import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
 from .promexport import render_prometheus
 from .summary import aggregate, format_duration, render_tree
@@ -94,6 +103,14 @@ __all__ = [
     "observe",
     "observe_windowed",
     "metrics_json",
+    # predict-vs-measure timing ledger
+    "PerfLedger",
+    "LedgerEntry",
+    "LedgerSample",
+    "DRIFT_BAND",
+    "get_ledger",
+    "record_execution",
+    "reset_ledger",
     # request-scoped telemetry + exposition
     "telemetry",
     "render_prometheus",

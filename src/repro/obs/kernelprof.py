@@ -29,10 +29,18 @@ so tests can assert exact agreement.  While :mod:`repro.obs` is enabled the
 profiler also emits its quantities as ``kprof.*`` gauges/counters, which the
 Chrome-trace exporter merges into the span stream as counter tracks.
 
+With ``--measure`` the profiler additionally *runs* the convolution on
+this machine (the compiled NumPy runtime) and appends a predict-vs-measure
+section: the device-model time, the cost model's calibrated prediction
+(:mod:`repro.gpusim.calibrate` — the active calibration, a ``--calib``
+file, or the hand-set constants), the measured min/median wallclock, and
+the prediction error in percent.
+
 CLI::
 
     python -m repro.obs.kernelprof --device rtx4090 --variant g8n6r3 \\
-        --shape 128x96x96x64 [--star] [--json] [--trace-json out.json]
+        --shape 128x96x96x64 [--star] [--json] [--trace-json out.json] \\
+        [--measure [--measure-reps 5] [--calib CALIB_host.json]]
 """
 
 from __future__ import annotations
@@ -59,6 +67,7 @@ __all__ = [
     "LaunchProfile",
     "ConvProfile",
     "profile_conv",
+    "measure_conv",
     "parse_kernel_token",
     "parse_ofm_token",
     "main",
@@ -486,6 +495,83 @@ def profile_conv(
     )
 
 
+def measure_conv(
+    shape: ConvShape,
+    *,
+    alpha: int | None = None,
+    reps: int = 5,
+    calib: str | None = None,
+    modeled_time_ms: float = 0.0,
+) -> dict[str, float | str]:
+    """Run the conv on this machine and score the cost model against it.
+
+    Executes :func:`repro.runtime.convolve` (warm executable cache — the
+    same regime the timing ledger records) and compares the measured
+    median against the calibrated prediction: a ``--calib`` file when
+    given, else the process's active calibration, else the hand-set
+    constants.  ``error_pct`` is relative to the measured median — the
+    calib-smoke convention.
+    """
+    import numpy as np
+
+    from .. import runtime
+    from ..bench.harness import measure_ns
+    from ..gpusim import calibrate
+
+    plan = plan_convolution(shape, alpha=alpha)
+    model = (
+        calibrate.CalibrationModel.load(calib)
+        if calib is not None
+        else calibrate.resolve_model()
+    )
+    predicted_ns = model.predict_conv_ns(shape, plan=plan)
+    rng = np.random.default_rng(20260808)
+    x = rng.standard_normal((shape.batch, shape.ih, shape.iw, shape.ic)).astype(
+        np.float32
+    )
+    w = rng.standard_normal((shape.oc, shape.fh, shape.fw, shape.ic)).astype(np.float32)
+    timing = measure_ns(lambda: runtime.convolve(x, w, alpha=alpha), reps=reps, warmup=1)
+    measured_ns = timing.median_ns
+    return {
+        "source": f"fitted:{model.host}" if model.fitted else "hand-set",
+        "reps": float(reps),
+        "modeled_time_ms": modeled_time_ms,
+        "predicted_ms": predicted_ns / 1e6,
+        "measured_median_ms": measured_ns / 1e6,
+        "measured_min_ms": timing.min_ns / 1e6,
+        "error_pct": (
+            abs(predicted_ns - measured_ns) / measured_ns * 100.0 if measured_ns else 0.0
+        ),
+    }
+
+
+def render_measured(measured: dict[str, float | str]) -> str:
+    """The predict-vs-measure text section ``--measure`` appends."""
+    from ..bench.harness import banner, table
+
+    return "\n".join(
+        [
+            banner(
+                "Predict vs measure (this machine)",
+                f"cost model: {measured['source']}  |  "
+                f"median of {int(float(measured['reps']))} reps, compiled runtime",
+            ),
+            table(
+                ["modeled (device)", "predicted", "measured median", "measured min", "error"],
+                [
+                    [
+                        f"{float(measured['modeled_time_ms']):.4f} ms",
+                        f"{float(measured['predicted_ms']):.4f} ms",
+                        f"{float(measured['measured_median_ms']):.4f} ms",
+                        f"{float(measured['measured_min_ms']):.4f} ms",
+                        f"{float(measured['error_pct']):.1f}%",
+                    ]
+                ],
+            ),
+        ]
+    )
+
+
 # --------------------------------------------------------------------------
 # CLI
 # --------------------------------------------------------------------------
@@ -573,6 +659,26 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--json", action="store_true", help="emit the structured dict as JSON")
     parser.add_argument(
+        "--measure",
+        action="store_true",
+        help="also run the conv on this machine (compiled runtime) and report "
+        "the calibrated prediction vs measured wallclock",
+    )
+    parser.add_argument(
+        "--measure-reps",
+        type=int,
+        default=5,
+        metavar="N",
+        help="measurement repetitions for --measure (median recorded, default 5)",
+    )
+    parser.add_argument(
+        "--calib",
+        metavar="PATH",
+        default=None,
+        help="CALIB_<host>.json for the --measure prediction (default: the "
+        "active calibration if any, else the hand-set constants)",
+    )
+    parser.add_argument(
         "--trace-json",
         metavar="PATH",
         default=None,
@@ -617,12 +723,28 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    measured = None
+    if args.measure:
+        try:
+            measured = measure_conv(
+                shape,
+                alpha=alpha,
+                reps=args.measure_reps,
+                calib=args.calib,
+                modeled_time_ms=profile.time_ms,
+            )
+        except (ValueError, OSError) as exc:
+            print(f"error: --measure failed: {exc}", file=sys.stderr)
+            return 2
+
     if args.json:
         # stdout stays machine-parseable: the payload is the only thing
         # printed, with any correction notes embedded alongside their
         # stderr copies above.
         doc = profile.as_dict()
         doc["notes"] = [note] if note else []
+        if measured is not None:
+            doc["measured"] = measured
         print(json.dumps(doc, indent=2, sort_keys=True))
         if written:
             print(
@@ -631,6 +753,9 @@ def main(argv: list[str] | None = None) -> int:
             )
     else:
         print(profile.render())
+        if measured is not None:
+            print()
+            print(render_measured(measured))
         if written:
             print(f"\n[kprof] Chrome trace with counter tracks written to {written}")
     return 0

@@ -23,7 +23,9 @@ scope and still answer the request (bit-identical results, just slower).
 from __future__ import annotations
 
 import contextlib
+import functools
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -32,6 +34,8 @@ import numpy as np
 
 from ..core.fused import DEFAULT_BLOCK_IC
 from ..obs import counter_add
+from ..obs.perfledger import record_execution
+from ..obs.tracer import enabled as _obs_enabled
 from .cache import get_executable, global_cache
 from .executable import FilterBundle
 from .signature import ConvSignature
@@ -156,6 +160,35 @@ def configure(
     return _DEFAULT
 
 
+def _calibration_generation() -> int:
+    from ..gpusim import calibrate  # lazy: keep gpusim below runtime at import
+
+    return calibrate.generation()
+
+
+@functools.lru_cache(maxsize=128)
+def _legacy_coeffs(sig: ConvSignature, generation: int) -> tuple[float, float]:
+    """(constant ns, per-row ns) prediction for a degraded (legacy) call.
+
+    The legacy path deliberately shares no compiled state, so the affine
+    coefficients the executable caches are recomputed here from the plan —
+    memoized per signature and calibration generation.
+    """
+    from ..core.planner import plan_convolution
+    from ..gpusim import calibrate
+    from ..nhwc.tensor import ConvShape
+
+    shape = ConvShape(
+        batch=1, ih=sig.ih, iw=sig.iw, ic=sig.ic, oc=sig.oc,
+        fh=sig.fh, fw=sig.fw, ph=sig.ph, pw=sig.pw, stride=1,
+    )
+    plan = plan_convolution(shape, alpha=sig.alpha, variant=sig.variant)
+    model = calibrate.resolve_model()
+    p1 = model.predict_ns(calibrate.conv_features(plan, 1))
+    p2 = model.predict_ns(calibrate.conv_features(plan, 2))
+    return 2.0 * p1 - p2, p2 - p1
+
+
 def convolve(
     x: np.ndarray,
     w: np.ndarray,
@@ -192,11 +225,33 @@ def convolve(
         from ..core.fused import conv2d_im2col_winograd  # lazy: import cycle
 
         counter_add("runtime.degraded.calls")
-        return conv2d_im2col_winograd(
-            x, w, ph=ph, pw=pw, alpha=alpha, variant=variant, dtype=dtype,
-            block_ic=block_ic if block_ic is not None else int(w.shape[3]),
-            legacy=True,
+        resolved_block = block_ic if block_ic is not None else int(w.shape[3])
+        if not _obs_enabled():
+            return conv2d_im2col_winograd(
+                x, w, ph=ph, pw=pw, alpha=alpha, variant=variant, dtype=dtype,
+                block_ic=resolved_block, legacy=True,
+            )
+        # Degraded calls are ledgered too (path="legacy"): the drift monitor
+        # is most interesting exactly when the compiled path is failing.
+        sig = ConvSignature.for_operands(
+            x, w, ph=ph, pw=pw, alpha=alpha, variant=variant, dtype=dtype
         )
+        t0 = time.perf_counter_ns()
+        y = conv2d_im2col_winograd(
+            x, w, ph=ph, pw=pw, alpha=alpha, variant=variant, dtype=dtype,
+            block_ic=resolved_block, legacy=True,
+        )
+        measured = float(time.perf_counter_ns() - t0)
+        const, per_row = _legacy_coeffs(sig, _calibration_generation())
+        record_execution(
+            signature=sig.label,
+            variant=sig.variant,
+            rows=x.shape[0],
+            path="legacy",
+            predicted_ns=const + per_row * x.shape[0],
+            measured_ns=measured,
+        )
+        return y
     sig = ConvSignature.for_operands(
         x, w, ph=ph, pw=pw, alpha=alpha, variant=variant, dtype=dtype
     )

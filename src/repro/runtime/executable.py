@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable
@@ -57,6 +58,8 @@ from ..nhwc.tensor import ConvShape, im2col_nhwc
 from ..nhwc.tiles import _gather_padded_region
 from ..obs import counter_add, span
 from ..obs import telemetry
+from ..obs.perfledger import record_execution
+from ..obs.tracer import enabled as _obs_enabled
 from .signature import ConvSignature
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -230,6 +233,8 @@ class ConvExecutable:
         self._filters: OrderedDict[object, FilterBundle] = OrderedDict()
         self._flock = threading.Lock()
         self._epaths: dict[tuple[str, tuple[tuple[int, ...], ...]], Any] = {}
+        # (calibration generation, constant ns, per-row ns) — see predicted_ns.
+        self._pred_cache: tuple[int, float, float] | None = None
 
     # -- filter-transform cache (weight-version keyed) ---------------------
 
@@ -277,6 +282,32 @@ class ConvExecutable:
     @property
     def cached_filter_versions(self) -> int:
         return len(self._filters)
+
+    # -- predicted wallclock (timing-ledger / serve cost model) ------------
+
+    def predicted_ns(self, batch: int) -> float:
+        """Predicted wallclock ns of one call at ``batch`` rows.
+
+        Priced by the machine cost model (:mod:`repro.gpusim.calibrate`:
+        the activated calibration, else the hand-set default coefficients).
+        Every fit term is affine in the batch, so two model evaluations at
+        batch 1 and 2 yield ``(constant, per_row)`` and every later batch
+        size is one multiply-add — cheap enough for the serve scheduler's
+        flush decisions and the per-call ledger.  Cached against the
+        calibration generation so activating a fit invalidates it.
+        """
+        from ..gpusim import calibrate
+
+        cached = self._pred_cache
+        gen = calibrate.generation()
+        if cached is None or cached[0] != gen:
+            model = calibrate.resolve_model()
+            p1 = model.predict_ns(calibrate.conv_features(self.plan, 1))
+            p2 = model.predict_ns(calibrate.conv_features(self.plan, 2))
+            per_row = p2 - p1
+            cached = (gen, p1 - per_row, per_row)
+            self._pred_cache = cached
+        return cached[1] + cached[2] * batch
 
     # -- memoized einsum contraction paths ---------------------------------
 
@@ -338,6 +369,11 @@ class ConvExecutable:
             return resolved[0]
 
         tasks = self._tasks(batch, cfg)
+        # Predict-vs-measure ledger: with observability on, every call is
+        # clocked and recorded next to its cost-model prediction (zero clock
+        # reads when disabled — part of the telemetry-overhead gate).
+        ledger = _obs_enabled()
+        t0 = time.perf_counter_ns() if ledger else 0
         with span(
             "conv2d",
             engine="runtime",
@@ -394,6 +430,15 @@ class ConvExecutable:
             else:
                 for task in tasks:
                     self._run_task(task, x, y, get_bundle, block_ic)
+        if ledger:
+            record_execution(
+                signature=sig.label,
+                variant=sig.variant,
+                rows=batch,
+                path="compiled",
+                predicted_ns=self.predicted_ns(batch),
+                measured_ns=float(time.perf_counter_ns() - t0),
+            )
         return y
 
     def per_row_workspace_bytes(self) -> int:

@@ -54,6 +54,14 @@ class ConvSignature:
     def ow(self) -> int:
         return conv_output_size(self.iw, self.fw, self.pw)
 
+    @property
+    def label(self) -> str:
+        """Compact human-readable key for metrics/ledger labels."""
+        return (
+            f"{self.ih}x{self.iw}x{self.ic}-{self.oc}"
+            f".f{self.fh}x{self.fw}.a{self.alpha}.{self.variant}"
+        )
+
     @classmethod
     def resolve(
         cls,

@@ -11,7 +11,7 @@ concurrent requests of the same *input signature* into one NHWC batch so a
 single dispatch amortizes the setup across all of them.
 
 Pure data structure: the asyncio scheduler owns time and execution; this
-module only decides *what forms a batch and when*.  Three flush triggers,
+module only decides *what forms a batch and when*.  Four flush triggers,
 checked per bucket:
 
 ``max_batch_size``
@@ -23,8 +23,20 @@ checked per bucket:
     Budget on ``rows x per_row_workspace_bytes`` per dispatch (the
     registry measures per-row bytes from the warmed executables), capping
     coalescing for large-activation models before memory does.
+deadline pressure (``predicted_batch_ns``)
+    When the owner supplies a predicted batch cost (the registry's
+    machine-calibrated per-row model), a bucket holding deadlined requests
+    flushes as soon as ``now + predicted(batch) >= earliest deadline`` —
+    waiting any longer would, by the cost model's own account, make the
+    response late.  Without the cost model a deadlined request waits the
+    full queue delay and may expire in the queue; with it, the batcher
+    trades batch fill for an on-time dispatch.
 
 Requests never split across batches: a request is the unit of response.
+Each popped :class:`Batch` carries its flush ``trigger`` and the
+``predicted_ns`` quoted for it, so the scheduler can emit
+``serve.flush.predicted_ns`` and compare prediction against the measured
+execution.
 """
 
 from __future__ import annotations
@@ -107,6 +119,12 @@ class Batch:
 
     key: BucketKey
     requests: list[PendingRequest]
+    #: Which flush trigger popped this batch: "size", "delay", "deadline"
+    #: (cost-model pressure) or "drain".
+    trigger: str = "size"
+    #: Predicted execution ns quoted by the cost model at flush time
+    #: (0.0 when the batcher has no cost model).
+    predicted_ns: float = 0.0
 
     @property
     def rows(self) -> int:
@@ -162,11 +180,15 @@ class DynamicBatcher:
         policy: BatchPolicy | None = None,
         *,
         per_row_bytes: Callable[[str], int] | None = None,
+        predicted_batch_ns: Callable[[str, int], float] | None = None,
     ) -> None:
         self.policy = policy if policy is not None else BatchPolicy()
         # Model name -> measured per-row workspace (the registry's warmup
         # number); absent/zero disables the workspace trigger for that model.
         self._per_row_bytes = per_row_bytes
+        # (model, rows) -> predicted dispatch ns (the registry's calibrated
+        # cost model); absent disables the deadline-pressure trigger.
+        self._predicted_batch_ns = predicted_batch_ns
         self._buckets: "OrderedDict[BucketKey, _Bucket]" = OrderedDict()
 
     # -- capacity ------------------------------------------------------------
@@ -180,6 +202,22 @@ class DynamicBatcher:
             if per_row > 0:
                 cap = min(cap, max(1, budget // per_row))
         return cap
+
+    def predicted_ns(self, model: str, rows: int) -> float:
+        """Cost-model quote for dispatching ``rows`` now (0.0 = no model)."""
+        if self._predicted_batch_ns is None or rows <= 0:
+            return 0.0
+        return max(0.0, float(self._predicted_batch_ns(model, rows)))
+
+    def _deadline_pressed(self, bucket: "_Bucket", now: float, cap: int) -> bool:
+        """True when waiting longer would predictably miss a deadline."""
+        if self._predicted_batch_ns is None:
+            return False
+        deadlines = [r.deadline for r in bucket.pending if r.deadline is not None]
+        if not deadlines:
+            return False
+        cost_s = self.predicted_ns(bucket.key[0], min(bucket.rows, cap)) * 1e-9
+        return now + cost_s >= min(deadlines)
 
     # -- mutation ------------------------------------------------------------
 
@@ -203,12 +241,14 @@ class DynamicBatcher:
         return dead
 
     def take_ready(self, now: float) -> list[Batch]:
-        """Pop every batch due by fill or by age at time ``now``.
+        """Pop every batch due by fill, by age or by deadline pressure.
 
         A full bucket yields as many full batches as it holds; a bucket
-        whose oldest request has waited ``max_queue_delay_ms`` flushes
-        entirely (in row-capped chunks).  Oversized single requests (more
-        rows than the cap) always dispatch alone rather than being split.
+        whose oldest request has waited ``max_queue_delay_ms`` — or whose
+        earliest deadline the cost model predicts the next dispatch would
+        otherwise miss — flushes entirely (in row-capped chunks).
+        Oversized single requests (more rows than the cap) always dispatch
+        alone rather than being split.
         """
         delay_s = self.policy.max_queue_delay_ms / 1e3
         out: list[Batch] = []
@@ -217,14 +257,24 @@ class DynamicBatcher:
             overdue = (
                 bucket.oldest_at is not None and now - bucket.oldest_at >= delay_s
             )
-            while bucket.rows >= cap or (overdue and bucket.pending):
+            pressed = not overdue and self._deadline_pressed(bucket, now, cap)
+            while bucket.rows >= cap or ((overdue or pressed) and bucket.pending):
+                full = bucket.rows >= cap
                 taken: list[PendingRequest] = [bucket.pending.pop(0)]
                 rows = taken[0].nrows
                 while bucket.pending and rows + bucket.pending[0].nrows <= cap:
                     req = bucket.pending.pop(0)
                     taken.append(req)
                     rows += req.nrows
-                out.append(Batch(key=bucket.key, requests=taken))
+                trigger = "size" if full else ("deadline" if pressed else "delay")
+                out.append(
+                    Batch(
+                        key=bucket.key,
+                        requests=taken,
+                        trigger=trigger,
+                        predicted_ns=self.predicted_ns(bucket.key[0], rows),
+                    )
+                )
         self._prune()
         return out
 
@@ -240,7 +290,14 @@ class DynamicBatcher:
                     req = bucket.pending.pop(0)
                     taken.append(req)
                     rows += req.nrows
-                out.append(Batch(key=bucket.key, requests=taken))
+                out.append(
+                    Batch(
+                        key=bucket.key,
+                        requests=taken,
+                        trigger="drain",
+                        predicted_ns=self.predicted_ns(bucket.key[0], rows),
+                    )
+                )
         self._buckets.clear()
         return out
 
@@ -249,22 +306,27 @@ class DynamicBatcher:
     def next_due(self) -> float | None:
         """Earliest monotonic time any queued work needs attention, or None.
 
-        The sooner of (a) the oldest request in any bucket reaching
-        ``max_queue_delay_ms`` (flush due) and (b) the earliest queued
-        request deadline (expiry due) — the scheduler sleeps exactly until
-        this instant, so deadlines are enforced on time even when their
-        bucket is nowhere near its delay flush.
+        The soonest of (a) the oldest request in any bucket reaching
+        ``max_queue_delay_ms`` (flush due), (b) the earliest queued request
+        deadline (expiry due) and (c) with a cost model, each deadline
+        minus the predicted dispatch time of its bucket (the last instant a
+        flush can still predictably make that deadline) — the scheduler
+        sleeps exactly until this instant, so deadlines are enforced on
+        time even when their bucket is nowhere near its delay flush.
         """
         delay_s = self.policy.max_queue_delay_ms / 1e3
         times = [
             b.oldest_at + delay_s for b in self._buckets.values() if b.oldest_at is not None
         ]
-        times.extend(
-            req.deadline
-            for b in self._buckets.values()
-            for req in b.pending
-            if req.deadline is not None
-        )
+        for b in self._buckets.values():
+            deadlines = [r.deadline for r in b.pending if r.deadline is not None]
+            if not deadlines:
+                continue
+            times.extend(deadlines)
+            if self._predicted_batch_ns is not None:
+                cap = self.max_rows_for(b.key[0])
+                cost_s = self.predicted_ns(b.key[0], min(b.rows, cap)) * 1e-9
+                times.append(min(deadlines) - cost_s)
         return min(times) if times else None
 
     def pending_requests(self) -> int:

@@ -13,8 +13,11 @@ Two canonical load models:
   politely slowing down.
 
 Both produce a :class:`LoadgenResult`: throughput, p50/p95/p99/mean/max
-latency, per-error-kind counts, and the scheduler's batch-size histogram —
-the distribution that shows whether dynamic batching actually coalesced.
+latency, per-error-kind counts, the scheduler's batch-size histogram —
+the distribution that shows whether dynamic batching actually coalesced —
+and the scheduler's predicted-vs-actual batch cost summary over exactly
+the batches this run flushed (count + mean absolute error %), the serving
+edge's view of how well the calibrated cost model priced its work.
 
 Inputs are deterministic per request id (seeded from ``(seed, rid)``), so
 two runs over the same id set see identical payloads — which is what lets
@@ -34,6 +37,7 @@ import numpy as np
 from ..obs import telemetry
 from .errors import DeadlineExceeded, QueueFull, ServeError
 from .registry import RegisteredModel
+from .scheduler import SchedulerStats
 from .service import InferenceService
 
 __all__ = [
@@ -79,6 +83,10 @@ class LoadgenResult:
     duration_s: float
     latencies_ms: list[float] = field(repr=False)
     batch_size_histogram: dict[int, int] = field(default_factory=dict)
+    #: Predicted-vs-actual batch cost over this run's flushed batches:
+    #: ``{"count", "mean_abs_error_pct", "predicted_ms_sum",
+    #: "measured_ms_sum", "drift_ratio"}`` — empty when no batch was costed.
+    batch_cost: dict[str, float] = field(default_factory=dict)
     outputs: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
     #: Trace ids of the requests this run issued (telemetry on only).
     trace_ids: list[str] = field(default_factory=list, repr=False)
@@ -145,6 +153,8 @@ class LoadgenResult:
             },
             "mean_batch_size": self.mean_batch_size,
         }
+        if self.batch_cost:
+            out["batch_cost"] = dict(self.batch_cost)
         split = self.server_attribution()
         if split is not None:
             out["server_attribution"] = {**split, "traced": len(self.queued_ms)}
@@ -162,6 +172,12 @@ class LoadgenResult:
             f"  batch sizes: {hist or '-'}   mean={self.mean_batch_size:.2f}",
             f"  errors: {self.errors or '-'}",
         ]
+        if self.batch_cost:
+            lines.append(
+                f"  batch cost: {int(self.batch_cost.get('count', 0))} costed, "
+                f"mean |err|={self.batch_cost.get('mean_abs_error_pct', 0.0):.1f}%  "
+                f"measured/predicted={self.batch_cost.get('drift_ratio', 0.0):.2f}x"
+            )
         split = self.server_attribution()
         if split is not None:
             q, e = split["queued_ms"], split["execute_ms"]
@@ -227,7 +243,7 @@ async def closed_loop(
     if requests < 1 or concurrency < 1:
         raise ValueError("requests and concurrency must be >= 1")
     fn = input_fn or seeded_input_fn(service.registry.get(model), seed=seed)
-    batches_before = dict(service.scheduler.stats().batch_sizes)
+    stats_before = service.scheduler.stats()
     latencies: list[float] = []
     errors: dict[str, int] = {}
     outputs: dict[int, np.ndarray] | None = {} if collect_outputs else None
@@ -245,7 +261,7 @@ async def closed_loop(
     duration = time.perf_counter() - t0
     return _finish(
         service, "closed", model, requests, latencies, errors, outputs, duration,
-        batches_before, trace_ids,
+        stats_before, trace_ids,
     )
 
 
@@ -264,7 +280,7 @@ async def open_loop(
     if requests < 1 or rate_rps <= 0:
         raise ValueError("requests must be >= 1 and rate_rps > 0")
     fn = input_fn or seeded_input_fn(service.registry.get(model), seed=seed)
-    batches_before = dict(service.scheduler.stats().batch_sizes)
+    stats_before = service.scheduler.stats()
     latencies: list[float] = []
     errors: dict[str, int] = {}
     outputs: dict[int, np.ndarray] | None = {} if collect_outputs else None
@@ -290,7 +306,7 @@ async def open_loop(
     duration = time.perf_counter() - t0
     return _finish(
         service, "open", model, requests, latencies, errors, outputs, duration,
-        batches_before, trace_ids,
+        stats_before, trace_ids,
     )
 
 
@@ -303,15 +319,32 @@ def _finish(
     errors: dict[str, int],
     outputs: dict[int, np.ndarray] | None,
     duration: float,
-    batches_before: dict[int, int],
+    stats_before: SchedulerStats,
     trace_ids: list[str] | None = None,
 ) -> LoadgenResult:
-    after = service.scheduler.stats().batch_sizes
+    stats_after = service.scheduler.stats()
+    batches_before = stats_before.batch_sizes
     delta = {
         size: count - batches_before.get(size, 0)
-        for size, count in after.items()
+        for size, count in stats_after.batch_sizes.items()
         if count - batches_before.get(size, 0) > 0
     }
+    # Batch-cost summary scoped to this run: difference the scheduler's
+    # cumulative sums so back-to-back runs against one service don't bleed
+    # into each other.
+    cost_count = stats_after.cost_batches - stats_before.cost_batches
+    batch_cost: dict[str, float] = {}
+    if cost_count > 0:
+        err_sum = stats_after.cost_abs_err_pct_sum - stats_before.cost_abs_err_pct_sum
+        pred_sum = stats_after.cost_predicted_ns_sum - stats_before.cost_predicted_ns_sum
+        meas_sum = stats_after.cost_measured_ns_sum - stats_before.cost_measured_ns_sum
+        batch_cost = {
+            "count": float(cost_count),
+            "mean_abs_error_pct": err_sum / cost_count,
+            "predicted_ms_sum": pred_sum / 1e6,
+            "measured_ms_sum": meas_sum / 1e6,
+            "drift_ratio": meas_sum / pred_sum if pred_sum > 0 else 0.0,
+        }
     split = telemetry.queue_execute_split(trace_ids) if trace_ids else {}
     return LoadgenResult(
         mode=mode,
@@ -322,6 +355,7 @@ def _finish(
         duration_s=duration,
         latencies_ms=latencies,
         batch_size_histogram=delta,
+        batch_cost=batch_cost,
         outputs=outputs or {},
         trace_ids=list(trace_ids or ()),
         queued_ms=split.get("queued_ms", []),

@@ -119,6 +119,10 @@ class RegisteredModel:
     executables_resolved: int = 0
     per_row_workspace_bytes: int = 0
     warmup_ms: float = 0.0
+    #: Affine predicted batch cost (conv portion, from the machine cost
+    #: model): one dispatch of ``k`` rows ≈ ``call + row * padded_rows(k)``.
+    predicted_row_ns: float = 0.0
+    predicted_call_ns: float = 0.0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     # -- request validation -------------------------------------------------
@@ -178,6 +182,18 @@ class RegisteredModel:
                     out = self.model(Tensor(padded)).data
         return out[:k]
 
+    def predicted_batch_ns(self, rows: int, *, batch_quantum: int = 1) -> float:
+        """Predicted wallclock ns of dispatching ``rows`` as one batch.
+
+        The calibrated (or hand-set) machine cost model summed over the
+        model's warmed conv executables, evaluated at the rows the dispatch
+        will actually execute (quantized + MIN_EXECUTE_ROWS padding).  The
+        scheduler's deadline-pressure flush and the predicted-vs-actual
+        batch cost stats both consume this.
+        """
+        executed = padded_rows(rows, batch_quantum)
+        return self.predicted_call_ns + self.predicted_row_ns * executed
+
     # -- introspection ------------------------------------------------------
 
     def describe(self) -> dict[str, object]:
@@ -191,6 +207,8 @@ class RegisteredModel:
             "executables_resolved": self.executables_resolved,
             "per_row_workspace_bytes": self.per_row_workspace_bytes,
             "warmup_ms": self.warmup_ms,
+            "predicted_row_ns": self.predicted_row_ns,
+            "predicted_call_ns": self.predicted_call_ns,
             "parameters": self.model.num_parameters(),
         }
 
@@ -287,6 +305,28 @@ class ModelRegistry:
             # to a documented input-scaled heuristic.
             default=per_row_floor * _FALLBACK_WORKSPACE_FACTOR,
         )
+        if fresh:
+            # Conv fit terms are affine in the batch, so summing each
+            # executable's (constant, per-row) coefficients prices any
+            # batch size in O(1) — the cost the batcher's deadline-pressure
+            # flush consults per wakeup.
+            p1 = sum(e.predicted_ns(1) for e in fresh)
+            p2 = sum(e.predicted_ns(2) for e in fresh)
+            entry.predicted_row_ns = max(0.0, p2 - p1)
+            entry.predicted_call_ns = max(0.0, p1 - (p2 - p1))
+        else:
+            # Warm cache: measure instead — two post-warmup forwards give
+            # the same affine decomposition from wallclock.
+            k = MIN_EXECUTE_ROWS
+            h, w, c = entry.input_shapes[0]
+            t1 = time.perf_counter_ns()
+            entry.infer_rows(np.zeros((k, h, w, c), dtype=entry.dtype))
+            t2 = time.perf_counter_ns()
+            entry.infer_rows(np.zeros((2 * k, h, w, c), dtype=entry.dtype))
+            t3 = time.perf_counter_ns()
+            per_row = max(0.0, float((t3 - t2) - (t2 - t1)) / k)
+            entry.predicted_row_ns = per_row
+            entry.predicted_call_ns = max(0.0, float(t2 - t1) - per_row * k)
         counter_add("serve.warmup.executables", entry.executables_resolved)
 
     # -- weight lifecycle ---------------------------------------------------

@@ -88,6 +88,14 @@ class SchedulerStats:
     latency_ms_sum: float = 0.0
     latency_ms_max: float = 0.0
     batch_sizes: dict[int, int] = field(default_factory=dict)
+    #: Flush-trigger histogram: "size" / "delay" / "deadline" / "drain".
+    batch_triggers: dict[str, int] = field(default_factory=dict)
+    #: Predicted-vs-actual batch cost accounting (the cost model's report
+    #: card at the serving edge).
+    cost_batches: int = 0
+    cost_abs_err_pct_sum: float = 0.0
+    cost_predicted_ns_sum: float = 0.0
+    cost_measured_ns_sum: float = 0.0
 
     @property
     def mean_batch_size(self) -> float:
@@ -99,6 +107,18 @@ class SchedulerStats:
     @property
     def mean_latency_ms(self) -> float:
         return self.latency_ms_sum / self.completed if self.completed else 0.0
+
+    @property
+    def mean_cost_error_pct(self) -> float:
+        """Mean absolute predicted-vs-measured batch cost error, percent."""
+        return self.cost_abs_err_pct_sum / self.cost_batches if self.cost_batches else 0.0
+
+    @property
+    def cost_drift_ratio(self) -> float:
+        """Measured over predicted execution ns across all costed batches."""
+        if self.cost_predicted_ns_sum <= 0.0:
+            return 0.0
+        return self.cost_measured_ns_sum / self.cost_predicted_ns_sum
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -114,6 +134,14 @@ class SchedulerStats:
             "max_latency_ms": self.latency_ms_max,
             "mean_batch_size": self.mean_batch_size,
             "batch_size_histogram": {str(k): v for k, v in sorted(self.batch_sizes.items())},
+            "flush_triggers": dict(sorted(self.batch_triggers.items())),
+            "batch_cost": {
+                "count": self.cost_batches,
+                "mean_abs_error_pct": self.mean_cost_error_pct,
+                "predicted_ms_sum": self.cost_predicted_ns_sum / 1e6,
+                "measured_ms_sum": self.cost_measured_ns_sum / 1e6,
+                "drift_ratio": self.cost_drift_ratio,
+            },
         }
 
 
@@ -133,6 +161,9 @@ class Scheduler:
         self._batcher = DynamicBatcher(
             self.config.policy,
             per_row_bytes=lambda model: registry.get(model).per_row_workspace_bytes,
+            predicted_batch_ns=lambda model, rows: registry.get(model).predicted_batch_ns(
+                rows, batch_quantum=self.config.policy.batch_quantum
+            ),
         )
         self._stats = SchedulerStats()
         self._stats_lock = threading.Lock()
@@ -303,7 +334,21 @@ class Scheduler:
                 )
         if not live:
             return
-        batch = Batch(key=batch.key, requests=live)
+        dropped = len(live) != len(batch.requests)
+        batch = Batch(
+            key=batch.key,
+            requests=live,
+            trigger=batch.trigger,
+            predicted_ns=batch.predicted_ns,
+        )
+        if dropped:
+            # Expiry shrank the batch; re-cost it for the surviving rows.
+            batch = Batch(
+                key=batch.key,
+                requests=live,
+                trigger=batch.trigger,
+                predicted_ns=self._batcher.predicted_ns(batch.key[0], batch.rows),
+            )
         bid = next(self._batch_seq)
         dispatched = time.monotonic()
         loop = asyncio.get_running_loop()
@@ -319,6 +364,9 @@ class Scheduler:
             self._stats.batches += 1
             self._stats.batch_sizes[batch.rows] = (
                 self._stats.batch_sizes.get(batch.rows, 0) + 1
+            )
+            self._stats.batch_triggers[batch.trigger] = (
+                self._stats.batch_triggers.get(batch.trigger, 0) + 1
             )
         counter_add("serve.batches", model=batch.key[0])
         observe("serve.batch.size", batch.rows, model=batch.key[0])
@@ -346,6 +394,15 @@ class Scheduler:
         # via the contextvar the ``activate`` scope sets in this thread.
         bctx = telemetry.start_trace() if telemetry.enabled() else None
         pad = padded_rows(batch.rows, self.config.policy.batch_quantum) - batch.rows
+        predicted_ns = batch.predicted_ns
+        if predicted_ns <= 0.0:
+            # Drain-path batches (and schedulers built without a cost
+            # callback) arrive uncosted; price them here so the ledgered
+            # predicted-vs-actual summary covers every executed batch.
+            predicted_ns = entry.predicted_batch_ns(
+                batch.rows, batch_quantum=self.config.policy.batch_quantum
+            )
+        t0 = time.perf_counter_ns()
         with span(
             "serve.batch", model=batch.key[0], requests=len(batch.requests), rows=batch.rows
         ), telemetry.activate(bctx), telemetry.trace_span(
@@ -368,7 +425,7 @@ class Scheduler:
                 ):
                     pass
             try:
-                return entry.infer_rows(
+                out = entry.infer_rows(
                     stacked, batch_quantum=self.config.policy.batch_quantum
                 )
             except Exception:
@@ -380,9 +437,48 @@ class Scheduler:
                 counter_add("serve.degraded", model=batch.key[0])
                 bspan.set(degraded=True)
                 with span("serve.batch.degraded", model=batch.key[0]), force_legacy():
-                    return entry.infer_rows(
+                    out = entry.infer_rows(
                         stacked, batch_quantum=self.config.policy.batch_quantum
                     )
+        self._record_batch_cost(
+            batch, predicted_ns, float(time.perf_counter_ns() - t0)
+        )
+        return out
+
+    def _record_batch_cost(
+        self, batch: Batch, predicted_ns: float, measured_ns: float
+    ) -> None:
+        """Score the cost model against one executed batch.
+
+        Error is relative to *measured* wallclock — the same convention as
+        :func:`repro.gpusim.calibrate.prediction_error_pct` — so the serve
+        summary and the calib-smoke suite speak in the same units.  Serve
+        batches are deliberately NOT written to the timing ledger: the
+        per-conv records land there from inside the executables this batch
+        runs, and double counting would skew the drift report.
+        """
+        err_pct = (
+            abs(measured_ns - predicted_ns) / measured_ns * 100.0
+            if measured_ns > 0.0
+            else 0.0
+        )
+        with self._stats_lock:
+            st = self._stats
+            st.cost_batches += 1
+            st.cost_abs_err_pct_sum += err_pct
+            st.cost_predicted_ns_sum += predicted_ns
+            st.cost_measured_ns_sum += measured_ns
+        observe(
+            "serve.flush.predicted_ns",
+            predicted_ns,
+            model=batch.key[0],
+            trigger=batch.trigger,
+        )
+        observe("serve.batch.measured_ns", measured_ns, model=batch.key[0])
+        if predicted_ns > 0.0:
+            gauge_set(
+                "serve.batch.cost_drift", measured_ns / predicted_ns, model=batch.key[0]
+            )
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -474,6 +570,11 @@ class Scheduler:
                 latency_ms_sum=self._stats.latency_ms_sum,
                 latency_ms_max=self._stats.latency_ms_max,
                 batch_sizes=dict(self._stats.batch_sizes),
+                batch_triggers=dict(self._stats.batch_triggers),
+                cost_batches=self._stats.cost_batches,
+                cost_abs_err_pct_sum=self._stats.cost_abs_err_pct_sum,
+                cost_predicted_ns_sum=self._stats.cost_predicted_ns_sum,
+                cost_measured_ns_sum=self._stats.cost_measured_ns_sum,
             )
         return snap
 

@@ -39,6 +39,7 @@ import time
 import numpy as np
 
 from ..obs import PROMETHEUS_CONTENT_TYPE, render_prometheus, telemetry
+from ..obs.perfledger import get_ledger
 from ..obs.telemetry import TraceContext
 from .errors import BadRequest, ServeError
 from .registry import ModelRegistry
@@ -107,6 +108,11 @@ class InferenceService:
             "queue_depth": self.scheduler.queue_depth,
             "scheduler": self.scheduler.stats().as_dict(),
             "models": self.registry.describe(),
+            # Predict-vs-measure drift over every conv this process executed
+            # (the timing ledger): tracked keys, executions, in-band
+            # fraction, worst offender.  Empty but well-formed when obs is
+            # off — the ledger only fills while instrumentation is enabled.
+            "perf": get_ledger().drift_report(),
         }
         slo = self.scheduler.slo_status()
         if slo is not None:

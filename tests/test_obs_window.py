@@ -1,0 +1,144 @@
+"""Edge-case tests for WindowedHistogram's sliding-window quantile view.
+
+Driven on an injected fake clock so sub-window rotation and wraparound are
+deterministic: no sleeps, no wall-clock flakiness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import WindowedHistogram
+
+
+class FakeClock:
+    def __init__(self, t: float = 1000.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture()
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+def _hist(clock: FakeClock, *, window_s: float = 6.0, slices: int = 3) -> WindowedHistogram:
+    return WindowedHistogram(
+        "t.window", window_s=window_s, slices=slices, clock=clock
+    )
+
+
+class TestEmptyWindow:
+    def test_scrape_before_any_observation(self, clock):
+        hist = _hist(clock)
+        assert hist.quantile(0.5) == 0.0
+        assert hist.quantile(0.99) == 0.0
+        assert hist.window_summary() == {"count": 0, "sum": 0.0, "mean": 0.0}
+        assert hist.bucket_counts() == [0] * (len(hist.bucket_edges) + 1)
+
+    def test_scrape_after_window_fully_expired(self, clock):
+        hist = _hist(clock, window_s=6.0, slices=3)
+        hist.observe(5.0)
+        clock.advance(100.0)  # everything aged out
+        assert hist.window_summary()["count"] == 0
+        assert hist.quantile(0.5) == 0.0
+        # The cumulative view never forgets.
+        assert sum(hist.bucket_counts()) == 1
+
+    def test_unknown_labels_are_empty_not_errors(self, clock):
+        hist = _hist(clock)
+        hist.observe(1.0, model="a")
+        assert hist.quantile(0.9, model="b") == 0.0
+        assert hist.window_summary(model="b")["count"] == 0
+
+
+class TestSingleSample:
+    def test_all_quantiles_land_in_the_sample_bucket(self, clock):
+        hist = _hist(clock)
+        hist.observe(7.0)
+        edges = hist.bucket_edges
+        import bisect
+
+        idx = bisect.bisect_left(edges, 7.0)
+        lo = edges[idx - 1] if idx > 0 else 0.0
+        hi = edges[idx]
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert lo <= hist.quantile(q) <= hi
+        assert hist.window_summary() == {"count": 1, "sum": 7.0, "mean": 7.0}
+
+    def test_overflow_sample_reports_alltime_max(self, clock):
+        hist = _hist(clock)
+        beyond = hist.bucket_edges[-1] * 10
+        hist.observe(beyond)
+        assert hist.quantile(0.5) == pytest.approx(beyond)
+
+
+class TestWraparound:
+    def test_quantiles_follow_the_window_across_rotation(self, clock):
+        # 6 s window in three 2 s slices.  Slow observations first, fast
+        # ones after the ring has wrapped: the windowed quantile must track
+        # the recent regime, not the union.
+        hist = _hist(clock, window_s=6.0, slices=3)
+        for _ in range(10):
+            hist.observe(0.5)  # fast era
+        q_fast = hist.quantile(0.9)
+        # A slice is only dropped once its *end* leaves the window, so full
+        # expiry takes window_s + slice_s = 8 s.
+        clock.advance(9.0)
+        for _ in range(10):
+            hist.observe(500.0)  # slow era
+        q_slow = hist.quantile(0.9)
+        assert q_slow > q_fast
+        assert hist.window_summary()["count"] == 10  # only the slow era
+        assert hist.quantile(0.5) > 100.0
+
+    def test_partial_expiry_mixes_only_surviving_slices(self, clock):
+        hist = _hist(clock, window_s=6.0, slices=3)
+        hist.observe(0.5)
+        clock.advance(2.5)  # into the next slice, first still in window
+        hist.observe(500.0)
+        assert hist.window_summary()["count"] == 2
+        clock.advance(6.0)  # first slice's end now beyond the 6 s horizon
+        summary = hist.window_summary()
+        assert summary["count"] == 1
+        assert summary["sum"] == pytest.approx(500.0)
+
+    def test_quantile_monotone_in_q_after_rotation(self, clock):
+        hist = _hist(clock, window_s=6.0, slices=3)
+        for v in (0.5, 2.0, 8.0, 32.0, 128.0):
+            hist.observe(v)
+            clock.advance(1.0)
+        qs = [hist.quantile(q) for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)]
+        assert qs == sorted(qs)
+
+
+class TestCumulativeMonotonicity:
+    def test_bucket_counts_never_decrease_across_rotation(self, clock):
+        # The Prometheus exposition requires cumulative _bucket samples to
+        # only ever grow — sliding-window expiry must not leak into them.
+        hist = _hist(clock, window_s=4.0, slices=2)
+        prev = hist.bucket_counts()
+        total = 0
+        for step in range(12):
+            hist.observe(float(2**step % 97))
+            total += 1
+            clock.advance(1.7)  # forces regular slice rotation + expiry
+            cur = hist.bucket_counts()
+            assert all(c >= p for c, p in zip(cur, prev))
+            assert sum(cur) == total
+            prev = cur
+
+    def test_streaming_surface_is_cumulative(self, clock):
+        hist = _hist(clock, window_s=4.0, slices=2)
+        hist.observe(1.0)
+        clock.advance(50.0)
+        hist.observe(3.0)
+        assert hist.window_summary()["count"] == 1  # windowed view forgot the first
+        (entry,) = hist.as_dict()["values"]
+        assert entry["value"]["count"] == 2  # cumulative view did not
+        assert entry["value"]["sum"] == pytest.approx(4.0)

@@ -1,0 +1,209 @@
+"""Tests for the predict-vs-measure timing ledger (repro.obs.perfledger)."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs, runtime
+from repro.obs.perfledger import (
+    DRIFT_BAND,
+    PerfLedger,
+    get_ledger,
+    ledger_events,
+    record_execution,
+    reset_ledger,
+)
+from repro.runtime.cache import global_cache
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    obs.reset()
+    obs.get_registry().reset()
+    reset_ledger()
+    yield
+    obs.disable()
+    obs.reset()
+    obs.get_registry().reset()
+    reset_ledger()
+
+
+def _record(ledger: PerfLedger, sig: str, predicted: float, measured: float, rows: int = 1):
+    return ledger.record(
+        signature=sig,
+        variant="base",
+        rows=rows,
+        path="compiled",
+        predicted_ns=predicted,
+        measured_ns=measured,
+    )
+
+
+class TestLedgerEntries:
+    def test_streaming_aggregation(self):
+        ledger = PerfLedger()
+        _record(ledger, "s", 100.0, 150.0)
+        entry = _record(ledger, "s", 100.0, 250.0)
+        assert entry.count == 2
+        assert entry.predicted_ns_sum == 200.0
+        assert entry.measured_ns_sum == 400.0
+        assert entry.measured_ns_min == 150.0
+        assert entry.measured_ns_max == 250.0
+        assert entry.drift_ratio == pytest.approx(2.0)
+        assert entry.mean_abs_error_pct == pytest.approx(50.0)
+        assert entry.in_band()  # 2.0 within (0.33, 3.0)
+        assert not entry.in_band((0.9, 1.1))
+
+    def test_distinct_keys_do_not_merge(self):
+        ledger = PerfLedger()
+        _record(ledger, "a", 10.0, 10.0, rows=1)
+        _record(ledger, "a", 10.0, 10.0, rows=2)
+        keys = {e.key for e in ledger.entries()}
+        assert keys == {("a", "base", 1, "compiled"), ("a", "base", 2, "compiled")}
+
+    def test_capacity_is_lru(self):
+        ledger = PerfLedger(capacity=3)
+        for sig in "abc":
+            _record(ledger, sig, 1.0, 1.0)
+        _record(ledger, "a", 1.0, 1.0)  # refresh "a": now b is oldest
+        _record(ledger, "d", 1.0, 1.0)  # evicts "b"
+        sigs = {e.key[0] for e in ledger.entries()}
+        assert sigs == {"a", "c", "d"}
+        assert len(ledger) == 3
+
+    def test_sample_ring_bounded(self):
+        ledger = PerfLedger(sample_capacity=8)
+        for i in range(20):
+            _record(ledger, "s", 1.0, float(i))
+        samples = ledger.samples()
+        assert len(samples) == 8
+        assert [s.measured_ns for s in samples] == [float(i) for i in range(12, 20)]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PerfLedger(capacity=0)
+
+    def test_concurrent_records(self):
+        ledger = PerfLedger()
+        n, threads = 200, 8
+
+        def worker():
+            for _ in range(n):
+                _record(ledger, "hot", 1.0, 2.0)
+
+        ts = [threading.Thread(target=worker) for _ in range(threads)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        (entry,) = ledger.entries()
+        assert entry.count == n * threads
+        assert entry.drift_ratio == pytest.approx(2.0)
+
+
+class TestDriftReport:
+    def test_report_fields_and_worst(self):
+        ledger = PerfLedger()
+        _record(ledger, "good", 100.0, 110.0)
+        _record(ledger, "bad", 100.0, 1000.0)  # 10x: out of band
+        report = ledger.drift_report()
+        assert report["band"] == list(DRIFT_BAND)
+        assert report["tracked_keys"] == 2
+        assert report["executions"] == 2
+        assert report["in_band_keys"] == 1
+        assert report["in_band_fraction"] == pytest.approx(0.5)
+        assert report["worst"]["signature"] == "bad"
+        assert report["worst"]["drift_ratio"] == pytest.approx(10.0)
+
+    def test_empty_report_is_wellformed(self):
+        report = PerfLedger().drift_report()
+        assert report["tracked_keys"] == 0
+        assert report["executions"] == 0
+        assert report["in_band_fraction"] == 1.0
+        assert "worst" not in report
+
+
+class TestGlobalRecording:
+    def test_record_execution_gated_on_obs(self):
+        record_execution(
+            signature="s", variant="base", rows=1, path="compiled",
+            predicted_ns=1.0, measured_ns=1.0,
+        )
+        assert len(get_ledger()) == 0  # obs disabled: no-op
+        obs.enable()
+        record_execution(
+            signature="s", variant="base", rows=1, path="compiled",
+            predicted_ns=1.0, measured_ns=2.0,
+        )
+        assert len(get_ledger()) == 1
+
+    def test_metrics_emitted_on_record(self):
+        obs.enable()
+        record_execution(
+            signature="s", variant="base", rows=1, path="compiled",
+            predicted_ns=100.0, measured_ns=150.0,
+        )
+        registry = obs.get_registry()
+        assert registry.get("perf.predicted_ns") is not None
+        assert registry.get("perf.measured_ns") is not None
+        drift = registry.get("perf.drift")
+        assert drift is not None
+        assert drift.value(path="compiled", sig="s") == pytest.approx(1.5)
+
+    def test_compiled_runtime_records_into_ledger(self):
+        runtime.clear_cache()
+        global_cache().clear()
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((1, 12, 12, 8)).astype(np.float32)
+        w = rng.standard_normal((8, 3, 3, 8)).astype(np.float32)
+        obs.enable()
+        runtime.convolve(x, w, alpha=8)
+        entries = get_ledger().entries()
+        assert entries, "compiled execution must record into the ledger"
+        (entry,) = entries
+        assert entry.key[3] == "compiled"
+        assert entry.key[2] == 1  # batch rows
+        assert entry.last_measured_ns > 0.0
+        assert entry.last_predicted_ns > 0.0
+
+    def test_obs_off_means_no_ledger_growth(self):
+        runtime.clear_cache()
+        global_cache().clear()
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((1, 12, 12, 8)).astype(np.float32)
+        w = rng.standard_normal((8, 3, 3, 8)).astype(np.float32)
+        runtime.convolve(x, w, alpha=8)
+        assert len(get_ledger()) == 0
+
+
+class TestChromeTraceTrack:
+    def test_ledger_events_shape_and_clamping(self):
+        ledger = PerfLedger()
+        _record(ledger, "s", 10.0, 20.0)
+        samples = ledger.samples()
+        # Origin far in the future: ts clamps to 0 instead of going negative.
+        events = ledger_events(1, samples[0].t_s + 100.0, samples)
+        assert len(events) == 1
+        (ev,) = events
+        assert ev["name"] == "perf.predicted_vs_measured"
+        assert ev["ph"] == "C"
+        assert ev["ts"] == 0.0
+        assert ev["args"] == {"predicted_ns": 10.0, "measured_ns": 20.0}
+
+    def test_trace_export_carries_ledger_track(self):
+        runtime.clear_cache()
+        global_cache().clear()
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((1, 12, 12, 8)).astype(np.float32)
+        w = rng.standard_normal((8, 3, 3, 8)).astype(np.float32)
+        with obs.capture() as tracer:
+            runtime.convolve(x, w, alpha=8)
+            from repro.obs.chrometrace import chrome_trace
+
+            doc = chrome_trace(tracer)
+        names = {e.get("name") for e in doc["traceEvents"]}
+        assert "perf.predicted_vs_measured" in names

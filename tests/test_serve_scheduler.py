@@ -123,10 +123,32 @@ class TestAdmissionControl:
 
 
 class TestDeadlines:
-    def test_queued_request_expires_on_time(self):
+    def test_deadline_pressure_rescues_queued_request(self):
         async def scenario():
             # A bucket that will never fill and would only delay-flush after
-            # a minute: the request's own deadline must still fire promptly.
+            # a minute.  The deadline-pressure flush dispatches at
+            # deadline − predicted cost, so the deadline is *met* rather
+            # than enforced post-mortem.
+            service = _service(
+                policy=BatchPolicy(max_batch_size=8, max_queue_delay_ms=60_000.0),
+                default_timeout_ms=None,
+            )
+            async with service:
+                t0 = asyncio.get_running_loop().time()
+                y = await service.infer("net", _x(), timeout_ms=500.0)
+                waited = asyncio.get_running_loop().time() - t0
+            return y, waited, service.scheduler.stats()
+
+        y, waited, stats = asyncio.run(scenario())
+        assert y.ndim >= 1
+        assert stats.completed == 1 and stats.expired == 0
+        assert stats.batch_triggers.get("deadline") == 1
+        assert waited < 5.0  # pressure-flushed, not the 60 s delay timer
+
+    def test_hopeless_deadline_expires_in_queue(self):
+        async def scenario():
+            # A deadline that passes before the flush loop can even wake:
+            # no dispatch can save it, so the queue-expiry path must fire.
             service = _service(
                 policy=BatchPolicy(max_batch_size=8, max_queue_delay_ms=60_000.0),
                 default_timeout_ms=None,
@@ -135,7 +157,7 @@ class TestDeadlines:
                 async with service:
                     t0 = asyncio.get_running_loop().time()
                     with pytest.raises(DeadlineExceeded):
-                        await service.infer("net", _x(), timeout_ms=40.0)
+                        await service.infer("net", _x(), timeout_ms=0.001)
                     waited = asyncio.get_running_loop().time() - t0
                 expired = _counter_total("serve.expired")
             return waited, expired, service.scheduler.stats()
@@ -148,13 +170,17 @@ class TestDeadlines:
         async def scenario():
             service = _service(
                 policy=BatchPolicy(max_batch_size=8, max_queue_delay_ms=60_000.0),
-                default_timeout_ms=40.0,
+                default_timeout_ms=500.0,
             )
             async with service:
-                with pytest.raises(DeadlineExceeded):
-                    await service.infer("net", _x())  # timeout_ms="default"
+                await service.infer("net", _x())  # timeout_ms="default"
+            return service.scheduler.stats()
 
-        asyncio.run(scenario())
+        stats = asyncio.run(scenario())
+        # The default deadline is what armed the pressure flush: without it
+        # this bucket would have waited out the 60 s delay timer.
+        assert stats.batch_triggers.get("deadline") == 1
+        assert stats.expired == 0 and stats.completed == 1
 
 
 class TestGracefulDegradation:
@@ -347,8 +373,11 @@ class TestLoadgen:
                 default_timeout_ms=None,
             )
             async with service:
+                # Hopeless deadlines: already past before the flush loop can
+                # wake, so not even the deadline-pressure flush can rescue
+                # them.
                 return await closed_loop(
-                    service, "net", requests=4, concurrency=4, timeout_ms=30.0
+                    service, "net", requests=4, concurrency=4, timeout_ms=0.001
                 )
 
         result = asyncio.run(scenario())
