@@ -13,8 +13,18 @@ Five execution-free passes prove, per :class:`repro.core.planner.ConvPlan`:
 5. **Transform conditioning** — §5.3 interpolation-point quality
    (``COND*``).
 
-Run ``python -m repro.analysis`` to sweep every benchmark shape, or call
-:func:`analyze_plan` directly.
+A sixth family covers the *host* side of the stack: the concurrency
+sanitizer (:mod:`repro.analysis.concurrency`) runs execution-free AST
+passes over ``repro.runtime`` / ``repro.serve`` / ``repro.obs`` — lock
+discipline (``LOCK*``), lock-order deadlock detection (``ORD*``),
+event-loop hygiene (``LOOP*``) — plus an opt-in runtime witness
+(``WIT*``) that cross-checks the static model against real thread
+interleavings.
+
+Run ``python -m repro.analysis`` to sweep every benchmark shape,
+``python -m repro.analysis --target repro.serve`` for the concurrency
+passes, or call :func:`analyze_plan` / :func:`analyze_concurrency`
+directly.
 """
 
 from .bounds import OffsetStream, gather_bounds_findings, segment_offset_streams
@@ -38,6 +48,13 @@ from .hazards import (
     pipeline_hazard_findings,
     pipeline_intervals,
     stage_degrees,
+)
+from .concurrency import (
+    GUARDS,
+    GuardSpec,
+    LockWitness,
+    analyze_concurrency,
+    guarded_by,
 )
 from .rules import RULES, Rule, make_finding
 
@@ -70,4 +87,9 @@ __all__ = [
     "conditioning_findings",
     "AnalysisConfig",
     "analyze_plan",
+    "analyze_concurrency",
+    "GuardSpec",
+    "GUARDS",
+    "guarded_by",
+    "LockWitness",
 ]

@@ -14,6 +14,13 @@ and prints its full report; tokens use the same grammar as
 ``--json`` switches stdout to a machine-readable document; diagnostics go
 to stderr.  ``--suppress RULE`` (repeatable) drops a rule ID from the
 verdict while still counting it in the report's ``suppressed`` map.
+
+Concurrency mode (``--target repro.serve``, repeatable) runs the host-side
+sanitizer instead: the LOCK / ORD / LOOP passes over the named packages'
+sources (see :mod:`repro.analysis.concurrency`).  ``--select LOCK,ORD``
+keeps only the listed rule families; ``--baseline FILE`` drops fingerprints
+accepted in a checked-in baseline, and ``--write-baseline FILE`` records
+the current findings as that baseline.  The CI gate runs both modes.
 """
 
 from __future__ import annotations
@@ -104,6 +111,54 @@ def _render_summary(reports: list[tuple[str, Report]], strict: bool) -> str:
     return "\n".join(lines)
 
 
+_CONC_FAMILIES = ("LOCK", "ORD", "LOOP", "WIT")
+
+
+def _run_concurrency(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Concurrency mode: LOCK/ORD/LOOP over the ``--target`` packages."""
+    from .concurrency import analyze_concurrency, load_baseline, write_baseline
+
+    select = [s for s in (args.select or "").split(",") if s.strip()]
+    bad = [s for s in select if s.strip().upper() not in _CONC_FAMILIES]
+    if bad:
+        parser.error(
+            f"unknown rule families in --select: {', '.join(bad)} "
+            f"(known: {', '.join(_CONC_FAMILIES)})"
+        )
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    report, graph = analyze_concurrency(
+        tuple(args.target), select=select, suppress=args.suppress, baseline=baseline
+    )
+    if args.write_baseline:
+        n = write_baseline(report.findings, args.write_baseline)
+        print(f"wrote {n} fingerprint(s) to {args.write_baseline}", file=sys.stderr)
+        return 0
+    exit_code = 0 if report.ok(strict=args.strict) else 1
+    if args.json:
+        doc = {
+            "strict": args.strict,
+            "targets": list(args.target),
+            "select": select,
+            "baseline": args.baseline,
+            "ok": exit_code == 0,
+            "lock_order_edges": sorted(
+                f"{a} -> {b}" for a, b in graph.edge_pairs()
+            ),
+            **report.as_dict(),
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return exit_code
+    print(report.render())
+    if args.verbose:
+        print("lock-order edges:")
+        for a, b in sorted(graph.edge_pairs()):
+            print(f"  {a} -> {b}")
+    verdict = "PASS" if exit_code == 0 else "FAIL"
+    mode = "strict" if args.strict else "errors-only"
+    print(f"verdict: {verdict} ({mode}; targets: {', '.join(args.target)})")
+    return exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
@@ -130,6 +185,30 @@ def main(argv: list[str] | None = None) -> int:
         default=[],
         metavar="RULE",
         help="suppress a rule ID (repeatable), e.g. --suppress SMEM006",
+    )
+    parser.add_argument(
+        "--target",
+        action="append",
+        default=[],
+        metavar="PACKAGE",
+        help="concurrency mode: analyze this package's sources (repeatable), "
+        "e.g. --target repro.runtime --target repro.serve --target repro.obs",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="FAMILIES",
+        help="concurrency mode: comma-separated rule-family prefixes to keep, "
+        "e.g. --select LOCK,ORD,LOOP",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="concurrency mode: drop findings whose fingerprints this baseline accepts",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="concurrency mode: write current findings as the new baseline and exit 0",
     )
     parser.add_argument(
         "--json", action="store_true", help="machine-readable report on stdout"
@@ -162,6 +241,10 @@ def main(argv: list[str] | None = None) -> int:
     unknown = sorted(set(args.suppress) - set(RULES))
     if unknown:
         parser.error(f"unknown rule ID(s) in --suppress: {', '.join(unknown)}")
+    if args.target:
+        return _run_concurrency(args, parser)
+    if args.select or args.baseline or args.write_baseline:
+        parser.error("--select/--baseline/--write-baseline require --target")
     if args.kernel and not args.shape:
         parser.error("--kernel requires --shape")
 

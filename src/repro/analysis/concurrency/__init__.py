@@ -1,0 +1,54 @@
+"""Concurrency sanitizer for the host stack (runtime / serve / obs).
+
+Execution-free AST passes over the threaded host code, mirroring the
+kernel sanitizer's architecture (typed findings, rule registry, strict CI
+gate) for a different invariant universe:
+
+* :mod:`.lockdiscipline` — LOCK rules: every guarded attribute access sits
+  under its registered lock (§H1);
+* :mod:`.lockorder` — ORD rules: the static acquisition graph is acyclic
+  and nothing opaque (callbacks, blocking joins) runs under a lock (§H2);
+* :mod:`.loophygiene` — LOOP rules: ``async def`` bodies never block the
+  event loop (§H3);
+* :mod:`.witness` — WIT rules: an opt-in runtime harness that records real
+  acquisition orders and guarded accesses during threaded stress tests and
+  cross-checks them against the static model (§H4).
+
+:func:`analyze_concurrency` is the entry point the CLI and CI use; the
+guard registry in :mod:`.registry` is the declaration layer.
+"""
+
+from .engine import (
+    DEFAULT_TARGETS,
+    analyze_concurrency,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from .lockdiscipline import lock_discipline_findings
+from .lockorder import LockOrderGraph, build_lock_order_graph, lock_order_findings
+from .loophygiene import loop_hygiene_findings
+from .model import ConcurrencyModel, model_from_sources, scan_packages
+from .registry import GUARDS, GuardSpec, guarded_by
+from .witness import LockWitness, WitnessLock
+
+__all__ = [
+    "DEFAULT_TARGETS",
+    "analyze_concurrency",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "lock_discipline_findings",
+    "LockOrderGraph",
+    "build_lock_order_graph",
+    "lock_order_findings",
+    "loop_hygiene_findings",
+    "ConcurrencyModel",
+    "model_from_sources",
+    "scan_packages",
+    "GUARDS",
+    "GuardSpec",
+    "guarded_by",
+    "LockWitness",
+    "WitnessLock",
+]

@@ -1,0 +1,147 @@
+"""Entry point of the concurrency sanitizer: packages in, one report out.
+
+:func:`analyze_concurrency` mirrors :func:`repro.analysis.engine.analyze_plan`
+for the host side: scan the target packages into a
+:class:`~.model.ConcurrencyModel`, run the three static passes (LOCK, ORD,
+LOOP), apply rule-level suppression and the fingerprint baseline, and emit
+``analysis.conc.packages`` / ``analysis.conc.findings.*`` counters so the
+gate's rule mix lands in the same metrics dump as the kernel sanitizer's.
+
+Baselines are fingerprint files, not rule suppressions: a fingerprint is
+``RULE:module:qualname:detail`` — no line numbers, so reformatting a file
+does not resurrect an accepted finding, but moving the *construct* (a new
+with-lock in a new method) does, which is the point.  The CI gate runs
+``--strict`` against the checked-in baseline; a clean tree plus the
+baseline yields an empty report.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ...obs import counter_add
+from ..findings import Finding, Report, apply_suppressions
+from .lockdiscipline import lock_discipline_findings
+from .lockorder import LockOrderGraph, build_lock_order_graph, lock_order_findings
+from .loophygiene import loop_hygiene_findings
+from .model import ConcurrencyModel, scan_packages
+from .registry import GUARDS, GuardSpec
+
+__all__ = [
+    "DEFAULT_TARGETS",
+    "analyze_concurrency",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: The host stack the sanitizer covers by default (ISSUE: runtime/serve/obs).
+DEFAULT_TARGETS: tuple[str, ...] = ("repro.runtime", "repro.serve", "repro.obs")
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity of a finding: ``RULE:module:qualname:detail``.
+
+    Built from the construct, never the line number, so baselines survive
+    unrelated edits to the same file.
+    """
+    loc = finding.location
+    detail = finding.context.get("detail", "")
+    return ":".join(
+        [finding.rule_id, str(loc.get("module", "")), str(loc.get("qualname", "")), str(detail)]
+    )
+
+
+def load_baseline(path: str | Path) -> dict[str, str]:
+    """Read a baseline file: ``{fingerprint: reason}``."""
+    data = json.loads(Path(path).read_text())
+    if data.get("version") != 1:
+        raise ValueError(f"unsupported baseline version in {path}: {data.get('version')!r}")
+    return {
+        entry["fingerprint"]: entry.get("reason", "")
+        for entry in data.get("suppressions", ())
+    }
+
+
+def write_baseline(
+    findings: Iterable[Finding], path: str | Path, *, reason: str = "accepted baseline"
+) -> int:
+    """Write the findings' fingerprints as a fresh baseline; returns count."""
+    entries = sorted({fingerprint(f) for f in findings})
+    payload = {
+        "version": 1,
+        "suppressions": [{"fingerprint": fp, "reason": reason} for fp in entries],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return len(entries)
+
+
+def _apply_baseline(
+    findings: Sequence[Finding], baseline: dict[str, str]
+) -> tuple[list[Finding], dict[str, int]]:
+    kept: list[Finding] = []
+    dropped: dict[str, int] = {}
+    for f in findings:
+        if fingerprint(f) in baseline:
+            key = f"baseline:{f.rule_id}"
+            dropped[key] = dropped.get(key, 0) + 1
+        else:
+            kept.append(f)
+    return kept, dropped
+
+
+def analyze_concurrency(
+    packages: Sequence[str] = DEFAULT_TARGETS,
+    *,
+    specs: tuple[GuardSpec, ...] = GUARDS,
+    select: Iterable[str] = (),
+    suppress: Iterable[str] = (),
+    baseline: dict[str, str] | None = None,
+    model: ConcurrencyModel | None = None,
+) -> tuple[Report, LockOrderGraph]:
+    """Run the LOCK / ORD / LOOP passes over ``packages``.
+
+    ``select`` keeps only findings whose rule ID starts with one of the
+    given prefixes (``("LOCK", "ORD")``); empty means everything.
+    ``baseline`` maps accepted fingerprints to reasons (see
+    :func:`load_baseline`).  Returns the report plus the lock-order graph —
+    the witness harness cross-checks runtime evidence against the latter.
+    """
+    m = model if model is not None else scan_packages(packages)
+    # Scope the registry to what was scanned: analyzing one package must not
+    # report "registry rot" for specs that live in the packages left out.
+    prefixes_pkg = tuple(p + "." for p in packages)
+    scoped = tuple(
+        s for s in specs if s.module in packages or s.module.startswith(prefixes_pkg)
+    )
+    findings: list[Finding] = []
+    findings.extend(lock_discipline_findings(m, scoped))
+    ord_findings, graph = lock_order_findings(m)
+    findings.extend(ord_findings)
+    findings.extend(loop_hygiene_findings(m))
+
+    prefixes = tuple(p.strip().upper() for p in select if p.strip())
+    if prefixes:
+        findings = [f for f in findings if f.rule_id.startswith(prefixes)]
+
+    kept, rule_dropped = apply_suppressions(findings, suppress)
+    base_kept, base_dropped = _apply_baseline(kept, baseline or {})
+    suppressed = dict(rule_dropped)
+    suppressed.update(base_dropped)
+
+    report = Report(
+        subject={"packages": ",".join(packages), "mode": "concurrency"},
+        findings=tuple(base_kept),
+        suppressed=suppressed,
+    )
+    counter_add("analysis.conc.packages", len(packages))
+    for sev, n in report.counts().items():
+        if n:
+            counter_add(f"analysis.conc.findings.{sev}", n)
+    return report, graph
+
+
+# Re-export for callers that only need the graph (the witness tests).
+build_graph = build_lock_order_graph

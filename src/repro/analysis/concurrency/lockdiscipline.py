@@ -1,0 +1,198 @@
+"""LOCK pass: every guarded attribute access happens under its lock.
+
+For each :class:`~repro.analysis.concurrency.registry.GuardSpec` (seeded
+plus ``@guarded_by``-decorated), walk every method of the guarded class and
+its subclasses tracking the statically-held lock set, and flag accesses of
+the guarded attributes outside the lock:
+
+* LOCK001 — a write (assignment, augmented assignment, ``del``, or a
+  mutator-method call like ``.clear()``/``.append()``) outside the lock;
+* LOCK002 — a read outside the lock;
+* LOCK003 — registry rot: the registered class, lock, attribute or
+  ``assume_held`` method no longer exists in source;
+* LOCK004 — a ``threading.Lock``/``RLock`` site with no registration at
+  all (new locks must declare what they guard).
+
+Exemptions, matching how single-threaded construction and internal helpers
+actually work:
+
+* ``__init__`` / ``__post_init__`` bodies (no concurrent access before the
+  object is published);
+* ``assume_held`` methods are analyzed with the lock pre-held (their
+  documented contract is "caller holds the lock");
+* identity tests (``self._slo is None``) — they read the reference, not
+  the guarded state, and CPython attribute loads are atomic.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Finding
+from ..rules import make_finding
+from .model import ClassInfo, ConcurrencyModel, function_events
+from .registry import GUARDS, GuardSpec
+
+__all__ = ["lock_discipline_findings", "collect_specs"]
+
+_INIT_METHODS = frozenset({"__init__", "__post_init__"})
+
+
+def collect_specs(
+    model: ConcurrencyModel, specs: tuple[GuardSpec, ...] = GUARDS
+) -> list[GuardSpec]:
+    """Seeded specs plus any ``@guarded_by`` decorations found in source."""
+    out = list(specs)
+    declared = {(s.module, s.cls) for s in specs}
+    for mod in model.modules.values():
+        for cls in mod.classes.values():
+            for deco in cls.guard_decorators:
+                if (cls.module, cls.name) in declared:
+                    continue
+                out.append(
+                    GuardSpec(
+                        module=cls.module,
+                        cls=cls.name,
+                        lock=deco["lock"],
+                        attrs=tuple(deco.get("attrs", ())),
+                        assume_held=tuple(deco.get("assume_held", ())),
+                        note="declared via @guarded_by",
+                    )
+                )
+    return out
+
+
+def _subclasses_of(model: ConcurrencyModel, target: ClassInfo) -> list[ClassInfo]:
+    """``target`` plus every scanned class that inherits from it."""
+    out = []
+    for mod in model.modules.values():
+        for cls in mod.classes.values():
+            if any(c.key == target.key for c in model.iter_bases(cls)):
+                out.append(cls)
+    return out
+
+
+def lock_discipline_findings(
+    model: ConcurrencyModel, specs: tuple[GuardSpec, ...] = GUARDS
+) -> list[Finding]:
+    findings: list[Finding] = []
+    all_specs = collect_specs(model, specs)
+    covered_locks: set[str] = set()
+
+    for spec in all_specs:
+        cls = model.class_by_key(f"{spec.module}.{spec.cls}")
+        if cls is None:
+            findings.append(
+                make_finding(
+                    "LOCK003",
+                    f"registered class {spec.module}.{spec.cls} not found in source",
+                    location={"module": spec.module, "qualname": spec.cls},
+                    context={"detail": "missing-class"},
+                )
+            )
+            continue
+        site = model.find_lock(cls, spec.lock)
+        if site is None:
+            findings.append(
+                make_finding(
+                    "LOCK003",
+                    f"{spec.module}.{spec.cls} has no lock attribute {spec.lock!r}",
+                    location={"module": spec.module, "qualname": spec.cls},
+                    context={"detail": f"missing-lock:{spec.lock}"},
+                )
+            )
+            continue
+        covered_locks.add(site.node_id)
+        for helper in spec.assume_held:
+            if model.find_method(cls, helper) is None:
+                findings.append(
+                    make_finding(
+                        "LOCK003",
+                        f"assume_held method {spec.cls}.{helper} not found in source",
+                        location={"module": spec.module, "qualname": spec.cls},
+                        context={"detail": f"missing-assume-held:{helper}"},
+                    )
+                )
+
+        seen_attrs: set[str] = set()
+        for sub in _subclasses_of(model, cls):
+            for name, method in sub.methods.items():
+                if name in _INIT_METHODS:
+                    for attr in spec.attrs:
+                        if _assigns(sub, name, attr):
+                            seen_attrs.add(attr)
+                    continue
+                entry_held = (site.node_id,) if name in spec.assume_held else ()
+                events = function_events(model, sub, method, entry_held=entry_held)
+                for access in events.accesses:
+                    if access.attr not in spec.attrs:
+                        continue
+                    seen_attrs.add(access.attr)
+                    if access.identity_test or site.node_id in access.held:
+                        continue
+                    rule = "LOCK001" if access.write else "LOCK002"
+                    kind = "written" if access.write else "read"
+                    findings.append(
+                        make_finding(
+                            rule,
+                            f"{sub.name}.{name} {kind} guarded attribute "
+                            f"{access.attr!r} without holding {spec.lock}",
+                            location={
+                                "module": sub.module,
+                                "qualname": f"{sub.name}.{name}",
+                                "line": access.lineno,
+                            },
+                            context={
+                                "detail": access.attr,
+                                "lock": site.node_id,
+                                "guard_class": spec.cls,
+                            },
+                        )
+                    )
+        for attr in spec.attrs:
+            known = any(
+                attr in c.attr_types or attr in c.lock_attrs
+                for c in model.iter_bases(cls)
+            )
+            if attr not in seen_attrs and not known:
+                findings.append(
+                    make_finding(
+                        "LOCK003",
+                        f"registered attribute {spec.cls}.{attr} never appears in source",
+                        location={"module": spec.module, "qualname": spec.cls},
+                        context={"detail": f"missing-attr:{attr}"},
+                    )
+                )
+
+    for node_id, site in sorted(model.lock_inventory().items()):
+        if node_id not in covered_locks:
+            findings.append(
+                make_finding(
+                    "LOCK004",
+                    f"lock {node_id} ({site.kind}) has no guard registration",
+                    location={
+                        "module": site.module,
+                        "qualname": f"{site.cls}.{site.attr}",
+                        "line": site.lineno,
+                    },
+                    context={"detail": node_id},
+                )
+            )
+    return findings
+
+
+def _assigns(cls: ClassInfo, method_name: str, attr: str) -> bool:
+    """Whether ``cls.<method>`` assigns ``self.<attr>`` (init coverage)."""
+    method = cls.methods.get(method_name)
+    if method is None:
+        return False
+    for node in ast.walk(method.node):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr == attr
+            and isinstance(node.ctx, ast.Store)
+        ):
+            return True
+    return False

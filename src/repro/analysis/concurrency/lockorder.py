@@ -1,0 +1,276 @@
+"""ORD pass: the static lock-acquisition graph and its deadlock shapes.
+
+Builds per-function summaries (which locks a function acquires directly,
+which calls it makes and under which held locks), then resolves calls
+interprocedurally — through import tables, module-global singletons
+(``_GLOBAL = MetricsRegistry()``), ``__init__``-inferred attribute types
+and method return annotations — to compute each function's *effective*
+acquisition set.  Every ``held -> acquired`` pair becomes an edge of the
+:class:`LockOrderGraph`.
+
+Findings:
+
+* ORD001 — a cycle in the graph (two locks acquired in both orders from
+  different paths), including the self-loop of re-acquiring a
+  non-reentrant ``Lock`` already held;
+* ORD002 — a user-supplied callable (``Callable``-annotated parameter or
+  attribute, e.g. the batcher's cost callbacks) invoked while a lock is
+  held: the callback can acquire anything, so the graph can't bound it;
+* ORD003 — a blocking join (``.shutdown()`` / ``.join()`` / ``.result()``)
+  while a lock is held — the engine's swap-then-join idiom exists exactly
+  to avoid this.
+
+The graph (edges + transitive closure) is exported for the dynamic
+witness: a runtime edge outside the closure means the static model rotted
+(WIT001).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..findings import Finding
+from ..rules import make_finding
+from .model import ClassInfo, ConcurrencyModel, FuncInfo, function_events
+
+__all__ = ["LockOrderGraph", "build_lock_order_graph", "lock_order_findings"]
+
+#: Attribute-call names that block until other threads/futures finish.
+_BLOCKING_JOINS = frozenset({"shutdown", "join", "result"})
+
+#: Interprocedural resolution depth bound (call chains in this codebase are
+#: shallow: helper -> registry -> instrument is three hops).
+_MAX_DEPTH = 8
+
+
+@dataclass(frozen=True)
+class OrderEdge:
+    """``held`` was held while ``acquired`` was acquired, at ``where``."""
+
+    held: str
+    acquired: str
+    where: str  # "module.qualname:line"
+    via: str = ""  # call chain evidence, "" for a direct nested with
+
+
+@dataclass
+class LockOrderGraph:
+    """Edges of the static acquisition order plus the reachability closure."""
+
+    edges: list[OrderEdge] = field(default_factory=list)
+    lock_kinds: dict[str, str] = field(default_factory=dict)
+
+    def edge_pairs(self) -> set[tuple[str, str]]:
+        return {(e.held, e.acquired) for e in self.edges}
+
+    def adjacency(self) -> dict[str, set[str]]:
+        adj: dict[str, set[str]] = {}
+        for e in self.edges:
+            adj.setdefault(e.held, set()).add(e.acquired)
+        return adj
+
+    def transitive_closure(self) -> set[tuple[str, str]]:
+        """All ``(a, b)`` where b is acquired somewhere under a (reachably)."""
+        adj = self.adjacency()
+        closure: set[tuple[str, str]] = set()
+        for start in adj:
+            stack, seen = list(adj[start]), set()
+            while stack:
+                nxt = stack.pop()
+                if nxt in seen:
+                    continue
+                seen.add(nxt)
+                closure.add((start, nxt))
+                stack.extend(adj.get(nxt, ()))
+        return closure
+
+    def cycles(self) -> list[list[str]]:
+        """Elementary cycles (as node lists), deduplicated by rotation."""
+        adj = self.adjacency()
+        cycles: list[list[str]] = []
+        seen_keys: set[tuple[str, ...]] = set()
+
+        def dfs(node: str, path: list[str], on_path: set[str]) -> None:
+            for nxt in sorted(adj.get(node, ())):
+                if nxt == path[0]:
+                    rotation = min(range(len(path)), key=lambda i: path[i])
+                    key = tuple(path[rotation:] + path[:rotation])
+                    if key not in seen_keys:
+                        seen_keys.add(key)
+                        cycles.append(list(key))
+                elif nxt not in on_path and nxt > path[0]:
+                    # Only explore nodes ordered after the root: each cycle
+                    # is found exactly once, rooted at its smallest node.
+                    dfs(nxt, path + [nxt], on_path | {nxt})
+
+        for start in sorted(adj):
+            dfs(start, [start], {start})
+        return cycles
+
+
+def _effective_acquisitions(
+    model: ConcurrencyModel,
+    func: FuncInfo,
+    cls: ClassInfo | None,
+    memo: dict[str, set[str]],
+    stack: frozenset[str],
+    depth: int = 0,
+) -> set[str]:
+    """Locks ``func`` may acquire, directly or through resolvable calls."""
+    key = f"{func.module}.{func.qualname}"
+    if key in memo:
+        return memo[key]
+    if key in stack or depth > _MAX_DEPTH:
+        return set()  # recursion / depth bound: stay sound-but-incomplete
+    events = function_events(model, cls, func)
+    acquired = {a.lock_id for a in events.acquires}
+    for call in events.calls:
+        target = call.resolved
+        if isinstance(target, ClassInfo):
+            target = target.methods.get("__init__")
+        if isinstance(target, FuncInfo):
+            owner = model.class_by_key(f"{target.module}.{target.cls}") if target.cls else None
+            acquired |= _effective_acquisitions(
+                model, target, owner, memo, stack | {key}, depth + 1
+            )
+    memo[key] = acquired
+    return acquired
+
+
+def build_lock_order_graph(model: ConcurrencyModel) -> LockOrderGraph:
+    graph = LockOrderGraph(
+        lock_kinds={nid: site.kind for nid, site in model.lock_inventory().items()}
+    )
+    memo: dict[str, set[str]] = {}
+    for mod, cls, func in model.iter_functions():
+        events = function_events(model, cls, func)
+        where_base = f"{mod.name}.{func.qualname}"
+        for acq in events.acquires:
+            for held in acq.held:
+                graph.edges.append(
+                    OrderEdge(held, acq.lock_id, f"{where_base}:{acq.lineno}")
+                )
+        for call in events.calls:
+            if not call.held:
+                continue
+            target = call.resolved
+            if isinstance(target, ClassInfo):
+                target = target.methods.get("__init__")
+            if not isinstance(target, FuncInfo):
+                continue
+            owner = (
+                model.class_by_key(f"{target.module}.{target.cls}") if target.cls else None
+            )
+            inner = _effective_acquisitions(
+                model, target, owner, memo, frozenset({where_base}), 1
+            )
+            for held in call.held:
+                for lock in inner:
+                    graph.edges.append(
+                        OrderEdge(
+                            held,
+                            lock,
+                            f"{where_base}:{call.lineno}",
+                            via=f"{target.module}.{target.qualname}",
+                        )
+                    )
+    return graph
+
+
+def lock_order_findings(
+    model: ConcurrencyModel, graph: LockOrderGraph | None = None
+) -> tuple[list[Finding], LockOrderGraph]:
+    """ORD findings plus the graph (reused by the CLI and the witness)."""
+    g = graph if graph is not None else build_lock_order_graph(model)
+    findings: list[Finding] = []
+
+    # ORD001a: non-reentrant self-acquisition (with lock: ... lock.acquire()).
+    for e in g.edges:
+        if e.held == e.acquired and g.lock_kinds.get(e.acquired) != "RLock":
+            findings.append(
+                make_finding(
+                    "ORD001",
+                    f"non-reentrant lock {e.acquired} re-acquired while held at {e.where}"
+                    + (f" via {e.via}" if e.via else ""),
+                    location={"module": e.where.rsplit(":", 1)[0], "qualname": e.acquired},
+                    context={"detail": f"self-loop:{e.acquired}", "where": e.where},
+                )
+            )
+
+    # ORD001b: multi-lock cycles.
+    for cycle in g.cycles():
+        if len(cycle) < 2:
+            continue
+        evidence = [
+            e.where
+            for e in g.edges
+            if (e.held, e.acquired)
+            in {(cycle[i], cycle[(i + 1) % len(cycle)]) for i in range(len(cycle))}
+        ]
+        findings.append(
+            make_finding(
+                "ORD001",
+                "lock-order cycle: " + " -> ".join(cycle + [cycle[0]]),
+                location={"module": "(graph)", "qualname": " -> ".join(cycle)},
+                context={"detail": "cycle:" + "|".join(sorted(cycle)), "edges": evidence},
+            )
+        )
+
+    # ORD002 (callback under lock) and ORD003 (blocking join under lock).
+    for mod, cls, func in model.iter_functions():
+        events = function_events(model, cls, func)
+        qual = f"{mod.name}.{func.qualname}"
+        for call in events.calls:
+            if not call.held:
+                continue
+            if call.resolved == "callback":
+                findings.append(
+                    make_finding(
+                        "ORD002",
+                        f"{qual} invokes a user callback while holding "
+                        f"{', '.join(call.held)}",
+                        location={
+                            "module": mod.name,
+                            "qualname": func.qualname,
+                            "line": call.lineno,
+                        },
+                        context={"detail": "callback", "held": list(call.held)},
+                    )
+                )
+            name = _called_attr_name(call.node)
+            if name in _BLOCKING_JOINS and not _is_self_known_method(model, cls, call.node):
+                findings.append(
+                    make_finding(
+                        "ORD003",
+                        f"{qual} calls blocking .{name}() while holding "
+                        f"{', '.join(call.held)}",
+                        location={
+                            "module": mod.name,
+                            "qualname": func.qualname,
+                            "line": call.lineno,
+                        },
+                        context={"detail": f"join:{name}", "held": list(call.held)},
+                    )
+                )
+    return findings, g
+
+
+def _called_attr_name(call: ast.Call) -> str | None:
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+def _is_self_known_method(
+    model: ConcurrencyModel, cls: ClassInfo | None, call: ast.Call
+) -> bool:
+    """``self.shutdown()`` on a scanned class is analyzed, not assumed blocking."""
+    func = call.func
+    return (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+        and cls is not None
+        and model.find_method(cls, func.attr) is not None
+    )

@@ -1,0 +1,180 @@
+"""LOOP pass: nothing blocks the asyncio event loop.
+
+Walks every ``async def`` body in the target packages (the serve scheduler
+and HTTP service are the real consumers) and flags synchronous work that
+would stall the loop — the single-threaded resource every request shares:
+
+* LOOP001 — a known-blocking API call (``time.sleep``, ``subprocess.*``,
+  ``os.system``, ``open``, socket connects, explicit ``lock.acquire()``);
+* LOOP002 — a ``with <threading lock>:`` block inline in the async body.
+  WARNING, not ERROR: an O(fields) uncontended critical section (the
+  scheduler's stats bookkeeping) is a measured, accepted cost — the rule
+  exists so every such section is a *decision*, recorded in the baseline;
+* LOOP003 — heavy synchronous work without an executor hop: NumPy
+  contractions, model forwards, pool ``shutdown``/``join``/``result``;
+* LOOP004 — ``await`` while a threading lock is held (the deadlock shape:
+  the loop suspends holding a lock a worker thread needs to finish the
+  very work being awaited).
+
+``run_in_executor(pool, fn, *args)`` passes ``fn`` *uncalled*, so executor
+hops are naturally invisible to the call scan — no special-casing needed.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Finding
+from ..rules import make_finding
+from .model import ConcurrencyModel, FuncInfo, function_events
+
+__all__ = ["loop_hygiene_findings"]
+
+#: Fully-qualified callables that block the calling thread.
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "os.system",
+        "os.wait",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "socket.create_connection",
+        "urllib.request.urlopen",
+        "requests.get",
+        "requests.post",
+    }
+)
+
+#: Bare names that block (builtins / common from-imports).
+_BLOCKING_NAMES = frozenset({"open", "sleep", "urlopen"})
+
+#: Attribute-call names that are heavy sync work on the loop.
+_HEAVY_ATTR_CALLS = frozenset(
+    {"shutdown", "join", "result", "einsum", "tensordot", "matmul", "dot"}
+)
+
+#: Resolved scanned functions that are heavy (model forwards, convs).
+_HEAVY_FUNCS = frozenset({"infer_rows", "convolve", "conv2d_im2col_winograd"})
+
+
+def _dotted_name(model: ConcurrencyModel, module: str, func: ast.expr) -> str | None:
+    """Best-effort dotted name of a call target (``time.sleep``, ``open``)."""
+    if isinstance(func, ast.Name):
+        mod = model.modules.get(module)
+        if mod and func.id in mod.imports:
+            return mod.imports[func.id]
+        return func.id
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        base = func.value.id
+        mod = model.modules.get(module)
+        if mod and base in mod.imports:
+            base = mod.imports[base]
+        return f"{base}.{func.attr}"
+    return None
+
+
+def loop_hygiene_findings(model: ConcurrencyModel) -> list[Finding]:
+    findings: list[Finding] = []
+    for mod, cls, func in model.iter_functions():
+        if not func.is_async:
+            continue
+        events = function_events(model, cls, func)
+        qual = f"{mod.name}.{func.qualname}"
+
+        for wl in events.with_locks:
+            findings.append(
+                make_finding(
+                    "LOOP002",
+                    f"async {qual} acquires threading lock {wl.lock_id} inline "
+                    f"on the event loop",
+                    location={
+                        "module": mod.name,
+                        "qualname": func.qualname,
+                        "line": wl.lineno,
+                    },
+                    context={"detail": f"with-lock:{wl.lock_id}"},
+                )
+            )
+
+        for aw in events.awaits:
+            if aw.held:
+                findings.append(
+                    make_finding(
+                        "LOOP004",
+                        f"async {qual} awaits while holding {', '.join(aw.held)}",
+                        location={
+                            "module": mod.name,
+                            "qualname": func.qualname,
+                            "line": aw.lineno,
+                        },
+                        context={"detail": f"await-under:{','.join(aw.held)}", "held": list(aw.held)},
+                    )
+                )
+
+        for call in events.calls:
+            node = call.node
+            dotted = _dotted_name(model, mod.name, node.func)
+            attr = node.func.attr if isinstance(node.func, ast.Attribute) else None
+            blocking = dotted in _BLOCKING_CALLS or (
+                isinstance(node.func, ast.Name) and node.func.id in _BLOCKING_NAMES
+            )
+            # Explicit lock-method acquisition shows up as an Acquire event
+            # with explicit=True; surface those here as LOOP001 too.
+            if blocking:
+                findings.append(
+                    make_finding(
+                        "LOOP001",
+                        f"async {qual} calls blocking {dotted or attr}() on the "
+                        f"event loop",
+                        location={
+                            "module": mod.name,
+                            "qualname": func.qualname,
+                            "line": call.lineno,
+                        },
+                        context={"detail": "blocking:" + str(dotted or attr)},
+                    )
+                )
+                continue
+            heavy = attr in _HEAVY_ATTR_CALLS or (
+                isinstance(call.resolved, FuncInfo) and call.resolved.name in _HEAVY_FUNCS
+            )
+            if (
+                attr == "join"
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, (ast.Constant, ast.JoinedStr))
+            ):
+                heavy = False  # str.join on a literal, not a thread join
+            if heavy:
+                findings.append(
+                    make_finding(
+                        "LOOP003",
+                        f"async {qual} runs heavy sync call "
+                        f"{dotted or attr}() without an executor hop",
+                        location={
+                            "module": mod.name,
+                            "qualname": func.qualname,
+                            "line": call.lineno,
+                        },
+                        context={"detail": "heavy:" + str(attr or dotted)},
+                    )
+                )
+
+        for acq in events.acquires:
+            if acq.explicit:
+                findings.append(
+                    make_finding(
+                        "LOOP001",
+                        f"async {qual} calls {acq.lock_id}.acquire() on the event "
+                        f"loop (can block indefinitely)",
+                        location={
+                            "module": mod.name,
+                            "qualname": func.qualname,
+                            "line": acq.lineno,
+                        },
+                        context={"detail": f"acquire:{acq.lock_id}"},
+                    )
+                )
+    return findings

@@ -1,0 +1,906 @@
+"""AST model of the host-concurrency surface: modules, classes, locks, calls.
+
+The concurrency passes (:mod:`.lockdiscipline`, :mod:`.lockorder`,
+:mod:`.loophygiene`) all consume one :class:`ConcurrencyModel` built here —
+a purely syntactic scan of the target packages (no imports are executed, so
+the sanitizer stays execution-free like the plan passes).  The model knows:
+
+* every ``threading.Lock``/``RLock`` **site** (``self._lock = Lock()`` in a
+  method, or a dataclass ``field(default_factory=threading.Lock)``), named
+  canonically ``<module>.<Class>.<attr>`` — the same IDs the dynamic
+  witness (:mod:`.witness`) derives at runtime, which is what makes the
+  static/dynamic cross-check possible;
+* a light **type environment**: attribute types inferred from ``__init__``
+  assignments and dataclass annotations, module-global singletons
+  (``_GLOBAL = MetricsRegistry()``), local variables assigned from typed
+  expressions, and method **return annotations** — enough to resolve call
+  chains like ``_GLOBAL.counter(name).inc(...)`` to ``Counter.inc``;
+* per-function **event streams** (:func:`function_events`): guarded
+  attribute accesses, lock acquisitions, calls and awaits, each tagged with
+  the set of locks statically held at that point.
+
+The analysis is intentionally self-centric: it proves the discipline of
+``self.<attr>`` accesses inside the owning class (plus locally-typed
+objects like ``with entry._lock:``), and leaves cross-object access to the
+runtime witness — the same split as the paper's §5.1 hazard pass, which
+proves per-kernel phase intervals statically and leaves cross-kernel
+interleaving to the timeline simulator.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from importlib import util as importlib_util
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+__all__ = [
+    "LockSite",
+    "FuncInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "ConcurrencyModel",
+    "Access",
+    "Acquire",
+    "CallEvent",
+    "AwaitEvent",
+    "WithLock",
+    "FunctionEvents",
+    "scan_packages",
+    "model_from_sources",
+    "function_events",
+]
+
+#: Container-method names treated as *writes* when invoked on a guarded
+#: attribute (``self._entries.clear()`` parses as a Load of ``_entries``).
+MUTATOR_METHODS = frozenset(
+    {
+        "clear", "append", "appendleft", "add", "insert", "extend", "update",
+        "pop", "popitem", "popleft", "remove", "discard", "setdefault",
+        "move_to_end", "sort", "reverse",
+    }
+)
+
+_LOCK_KINDS = {"Lock": "Lock", "RLock": "RLock"}
+
+
+@dataclass(frozen=True)
+class LockSite:
+    """One lock attribute: where it lives and what flavour it is."""
+
+    module: str
+    cls: str
+    attr: str
+    kind: str  # "Lock" | "RLock"
+    lineno: int
+
+    @property
+    def node_id(self) -> str:
+        """Canonical graph/witness name, ``<module>.<Class>.<attr>``."""
+        return f"{self.module}.{self.cls}.{self.attr}"
+
+
+@dataclass
+class FuncInfo:
+    """One function or method definition."""
+
+    module: str
+    cls: str | None
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    params: tuple[str, ...] = ()
+    callback_params: frozenset[str] = frozenset()
+    returns: str | None = None  # unparsed return annotation
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.cls}.{self.name}" if self.cls else self.name
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+
+@dataclass
+class ClassInfo:
+    """One class definition plus everything the passes need from it."""
+
+    module: str
+    name: str
+    node: ast.ClassDef
+    bases: tuple[str, ...] = ()
+    methods: dict[str, FuncInfo] = field(default_factory=dict)
+    lock_attrs: dict[str, LockSite] = field(default_factory=dict)
+    attr_types: dict[str, str] = field(default_factory=dict)  # attr -> raw type name
+    callback_attrs: set[str] = field(default_factory=set)
+    guard_decorators: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def key(self) -> str:
+        return f"{self.module}.{self.name}"
+
+
+@dataclass
+class ModuleInfo:
+    """One scanned source file."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    is_package: bool = False
+    imports: dict[str, str] = field(default_factory=dict)  # local -> dotted
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    functions: dict[str, FuncInfo] = field(default_factory=dict)
+    global_types: dict[str, str] = field(default_factory=dict)  # var -> raw type name
+
+
+def _is_callable_annotation(node: ast.expr | None) -> bool:
+    if node is None:
+        return False
+    try:
+        return "Callable" in ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on our inputs
+        return False
+
+
+def _annotation_name(node: ast.expr | None) -> str | None:
+    """Single concrete class name out of an annotation, if there is one.
+
+    Handles ``X``, ``"X"``, ``X | None`` and ``Optional[X]``; anything with
+    more than one concrete candidate resolves to ``None`` (unknown).
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        names = [_annotation_name(n) for n in (node.left, node.right)]
+        concrete = [n for n in names if n is not None and n != "None"]
+        return concrete[0] if len(concrete) == 1 else None
+    if isinstance(node, ast.Subscript):
+        base = _annotation_name(node.value)
+        if base == "Optional":
+            return _annotation_name(node.slice)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class _ModuleScanner(ast.NodeVisitor):
+    """Populates one :class:`ModuleInfo` from its AST."""
+
+    def __init__(self, info: ModuleInfo) -> None:
+        self.info = info
+
+    # -- imports -------------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            self.info.imports[local] = alias.name if alias.asname else alias.name.split(".")[0]
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        parts = self.info.name.split(".")
+        anchor = parts if self.info.is_package else parts[:-1]
+        if node.level:
+            anchor = anchor[: len(anchor) - (node.level - 1)] if node.level > 1 else anchor
+            base = ".".join(anchor + ([node.module] if node.module else []))
+        else:
+            base = node.module or ""
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.info.imports[local] = f"{base}.{alias.name}" if base else alias.name
+
+    # -- top-level defs ------------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.info.functions[node.name] = _func_info(self.info.name, None, node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.info.functions[node.name] = _func_info(self.info.name, None, node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # Module-global singleton: `_GLOBAL = MetricsRegistry()`.
+        if (
+            len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Name)
+        ):
+            self.info.global_types[node.targets[0].id] = node.value.func.id
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        cls = ClassInfo(
+            module=self.info.name,
+            name=node.name,
+            node=node,
+            bases=tuple(
+                b.id if isinstance(b, ast.Name) else (b.attr if isinstance(b, ast.Attribute) else "")
+                for b in node.bases
+            ),
+        )
+        for deco in node.decorator_list:
+            spec = _guard_decorator_spec(deco)
+            if spec is not None:
+                cls.guard_decorators.append(spec)
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                cls.methods[item.name] = _func_info(self.info.name, node.name, item)
+                self._scan_method_attrs(cls, item)
+            elif isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                self._scan_class_field(cls, item)
+        self.info.classes[node.name] = cls
+
+    # -- attribute discovery -------------------------------------------------
+
+    def _scan_class_field(self, cls: ClassInfo, node: ast.AnnAssign) -> None:
+        """Dataclass-style field: lock factories and annotated types."""
+        name = node.target.id  # type: ignore[union-attr]
+        if isinstance(node.value, ast.Call):
+            for kw in node.value.keywords:
+                if kw.arg == "default_factory":
+                    kind = self._lock_kind(kw.value)
+                    if kind:
+                        cls.lock_attrs[name] = LockSite(
+                            cls.module, cls.name, name, kind, node.lineno
+                        )
+        ann = _annotation_name(node.annotation)
+        if ann and name not in cls.lock_attrs:
+            cls.attr_types.setdefault(name, ann)
+        if _is_callable_annotation(node.annotation):
+            cls.callback_attrs.add(name)
+
+    def _scan_method_attrs(
+        self, cls: ClassInfo, method: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        """`self.x = ...` assignments: lock sites, types, callback fields."""
+        params = {a.arg: a.annotation for a in method.args.args}
+        for stmt in ast.walk(method):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            annotation: ast.expr | None = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value, annotation = stmt.target, stmt.value, stmt.annotation
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            attr = target.attr
+            kind = self._lock_kind(value) if isinstance(value, ast.Call) else None
+            if kind:
+                cls.lock_attrs.setdefault(
+                    attr, LockSite(cls.module, cls.name, attr, kind, stmt.lineno)
+                )
+                continue
+            ann_name = _annotation_name(annotation)
+            if ann_name:
+                cls.attr_types.setdefault(attr, ann_name)
+            if _is_callable_annotation(annotation):
+                cls.callback_attrs.add(attr)
+            if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+                cls.attr_types.setdefault(attr, value.func.id)
+            elif isinstance(value, ast.IfExp):
+                for arm in (value.body, value.orelse):
+                    if isinstance(arm, ast.Call) and isinstance(arm.func, ast.Name):
+                        cls.attr_types.setdefault(attr, arm.func.id)
+                        break
+            elif isinstance(value, ast.Name) and value.id in params:
+                if _is_callable_annotation(params[value.id]):
+                    cls.callback_attrs.add(attr)
+
+    def _lock_kind(self, node: ast.expr | None) -> str | None:
+        """``threading.Lock``/``RLock`` (called or as a factory ref), else None."""
+        if isinstance(node, ast.Call):
+            node = node.func
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            if node.value.id == "threading" and node.attr in _LOCK_KINDS:
+                return _LOCK_KINDS[node.attr]
+        if isinstance(node, ast.Name):
+            dotted = self.info.imports.get(node.id, "")
+            if dotted in ("threading.Lock", "threading.RLock"):
+                return _LOCK_KINDS[dotted.rsplit(".", 1)[1]]
+        return None
+
+
+def _func_info(
+    module: str, cls: str | None, node: ast.FunctionDef | ast.AsyncFunctionDef
+) -> FuncInfo:
+    params = tuple(a.arg for a in node.args.args + node.args.kwonlyargs)
+    callbacks = frozenset(
+        a.arg
+        for a in node.args.args + node.args.kwonlyargs
+        if _is_callable_annotation(a.annotation)
+    )
+    returns = None
+    if node.returns is not None:
+        returns = _annotation_name(node.returns)
+    return FuncInfo(
+        module=module, cls=cls, name=node.name, node=node,
+        params=params, callback_params=callbacks, returns=returns,
+    )
+
+
+def _guard_decorator_spec(deco: ast.expr) -> dict[str, Any] | None:
+    """Parse a ``@guarded_by("_lock", "_a", "_b", ...)`` class decorator."""
+    if not isinstance(deco, ast.Call):
+        return None
+    func = deco.func
+    name = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else None
+    )
+    if name != "guarded_by":
+        return None
+    args = [a.value for a in deco.args if isinstance(a, ast.Constant)]
+    if not args:
+        return None
+    spec: dict[str, Any] = {"lock": args[0], "attrs": tuple(args[1:])}
+    for kw in deco.keywords:
+        if kw.arg == "assume_held" and isinstance(kw.value, (ast.Tuple, ast.List)):
+            spec["assume_held"] = tuple(
+                e.value for e in kw.value.elts if isinstance(e, ast.Constant)
+            )
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# the model
+# ---------------------------------------------------------------------------
+
+
+class ConcurrencyModel:
+    """Resolution layer over the scanned modules."""
+
+    def __init__(self, modules: dict[str, ModuleInfo]) -> None:
+        self.modules = modules
+        self._class_index: dict[str, list[ClassInfo]] = {}
+        for mod in modules.values():
+            for cls in mod.classes.values():
+                self._class_index.setdefault(cls.name, []).append(cls)
+
+    # -- symbol resolution ---------------------------------------------------
+
+    def resolve_symbol(self, module: str, name: str) -> ClassInfo | FuncInfo | None:
+        """Resolve ``name`` as visible from ``module`` (imports followed)."""
+        mod = self.modules.get(module)
+        if mod is None:
+            return None
+        if name in mod.classes:
+            return mod.classes[name]
+        if name in mod.functions:
+            return mod.functions[name]
+        dotted = mod.imports.get(name)
+        if dotted:
+            return self.resolve_dotted(dotted)
+        return None
+
+    def resolve_dotted(self, dotted: str, _depth: int = 0) -> ClassInfo | FuncInfo | None:
+        """Resolve a fully-qualified name, following one-hop re-exports."""
+        if _depth > 5:
+            return None
+        mod_name, _, symbol = dotted.rpartition(".")
+        mod = self.modules.get(mod_name)
+        if mod is None or not symbol:
+            return None
+        if symbol in mod.classes:
+            return mod.classes[symbol]
+        if symbol in mod.functions:
+            return mod.functions[symbol]
+        # Re-export hub (`from .metrics import counter_add` in __init__).
+        reexport = mod.imports.get(symbol)
+        if reexport:
+            return self.resolve_dotted(reexport, _depth + 1)
+        return None
+
+    # -- class structure -----------------------------------------------------
+
+    def class_by_key(self, key: str) -> ClassInfo | None:
+        mod_name, _, cls_name = key.rpartition(".")
+        mod = self.modules.get(mod_name)
+        return mod.classes.get(cls_name) if mod else None
+
+    def iter_bases(self, cls: ClassInfo) -> Iterator[ClassInfo]:
+        """``cls`` then its resolvable base classes, depth-first."""
+        seen: set[str] = set()
+        stack = [cls]
+        while stack:
+            cur = stack.pop(0)
+            if cur.key in seen:
+                continue
+            seen.add(cur.key)
+            yield cur
+            for base in cur.bases:
+                resolved = self.resolve_symbol(cur.module, base)
+                if isinstance(resolved, ClassInfo):
+                    stack.append(resolved)
+
+    def find_lock(self, cls: ClassInfo, attr: str) -> LockSite | None:
+        """Lock site for ``attr`` on ``cls``, searching base classes."""
+        for c in self.iter_bases(cls):
+            if attr in c.lock_attrs:
+                return c.lock_attrs[attr]
+        return None
+
+    def find_method(self, cls: ClassInfo, name: str) -> FuncInfo | None:
+        for c in self.iter_bases(cls):
+            if name in c.methods:
+                return c.methods[name]
+        return None
+
+    def find_attr_type(self, cls: ClassInfo, attr: str) -> ClassInfo | None:
+        for c in self.iter_bases(cls):
+            raw = c.attr_types.get(attr)
+            if raw:
+                resolved = self.resolve_symbol(c.module, raw)
+                if isinstance(resolved, ClassInfo):
+                    return resolved
+        return None
+
+    def is_callback_attr(self, cls: ClassInfo, attr: str) -> bool:
+        return any(attr in c.callback_attrs for c in self.iter_bases(cls))
+
+    def lock_inventory(self) -> dict[str, LockSite]:
+        """Every lock site in the model, keyed by canonical node ID."""
+        out: dict[str, LockSite] = {}
+        for mod in self.modules.values():
+            for cls in mod.classes.values():
+                for site in cls.lock_attrs.values():
+                    out[site.node_id] = site
+        return out
+
+    def iter_functions(self) -> Iterator[tuple[ModuleInfo, ClassInfo | None, FuncInfo]]:
+        for mod in self.modules.values():
+            for fn in mod.functions.values():
+                yield mod, None, fn
+            for cls in mod.classes.values():
+                for fn in cls.methods.values():
+                    yield mod, cls, fn
+
+    # -- expression typing ---------------------------------------------------
+
+    def infer_type(
+        self,
+        expr: ast.expr,
+        *,
+        module: str,
+        cls: ClassInfo | None,
+        local_types: dict[str, str] | None = None,
+    ) -> ClassInfo | None:
+        """Best-effort static type of ``expr`` (a scanned class, or None)."""
+        locals_ = local_types or {}
+        if isinstance(expr, ast.Name):
+            if expr.id == "self":
+                return cls
+            if expr.id in locals_:
+                resolved = self.resolve_symbol(module, locals_[expr.id])
+                return resolved if isinstance(resolved, ClassInfo) else None
+            mod = self.modules.get(module)
+            if mod and expr.id in mod.global_types:
+                resolved = self.resolve_symbol(module, mod.global_types[expr.id])
+                return resolved if isinstance(resolved, ClassInfo) else None
+            return None
+        if isinstance(expr, ast.Attribute):
+            owner = self.infer_type(
+                expr.value, module=module, cls=cls, local_types=locals_
+            )
+            if owner is not None:
+                return self.find_attr_type(owner, expr.attr)
+            return None
+        if isinstance(expr, ast.Call):
+            callee = self.resolve_callable(
+                expr.func, module=module, cls=cls, local_types=locals_
+            )
+            if isinstance(callee, ClassInfo):
+                return callee  # constructor call -> instance
+            if isinstance(callee, FuncInfo) and callee.returns:
+                resolved = self.resolve_symbol(callee.module, callee.returns)
+                return resolved if isinstance(resolved, ClassInfo) else None
+            return None
+        if isinstance(expr, ast.IfExp):
+            return self.infer_type(
+                expr.body, module=module, cls=cls, local_types=locals_
+            ) or self.infer_type(expr.orelse, module=module, cls=cls, local_types=locals_)
+        return None
+
+    def resolve_callable(
+        self,
+        func: ast.expr,
+        *,
+        module: str,
+        cls: ClassInfo | None,
+        local_types: dict[str, str] | None = None,
+        params: Sequence[str] = (),
+        callback_params: frozenset[str] = frozenset(),
+    ) -> ClassInfo | FuncInfo | str | None:
+        """Resolve a call target: class, function, ``"callback"``, or None."""
+        locals_ = local_types or {}
+        if isinstance(func, ast.Name):
+            if func.id in callback_params:
+                return "callback"
+            if func.id in params or func.id in locals_:
+                # A called local: only flag params annotated Callable above;
+                # a typed local being *called* is not a pattern we model.
+                return None
+            resolved = self.resolve_symbol(module, func.id)
+            return resolved
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) and func.value.id == "self" and cls:
+                if self.is_callback_attr(cls, func.attr):
+                    return "callback"
+                method = self.find_method(cls, func.attr)
+                if method is not None:
+                    return method
+                return None
+            owner = self.infer_type(
+                func.value, module=module, cls=cls, local_types=locals_
+            )
+            if owner is not None:
+                if self.is_callback_attr(owner, func.attr):
+                    return "callback"
+                return self.find_method(owner, func.attr)
+            return None
+        return None
+
+
+# ---------------------------------------------------------------------------
+# event extraction (the shared walker)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Access:
+    """One guarded-candidate attribute access (``self.<attr>``)."""
+
+    attr: str
+    write: bool
+    held: tuple[str, ...]
+    lineno: int
+    identity_test: bool = False  # `self.x is None` — does not touch state
+
+
+@dataclass(frozen=True)
+class Acquire:
+    """One lock acquisition (a ``with`` entry or an explicit ``.acquire()``)."""
+
+    lock_id: str
+    kind: str
+    held: tuple[str, ...]
+    lineno: int
+    explicit: bool = False  # bare .acquire() call rather than a with block
+
+
+@dataclass(frozen=True)
+class WithLock:
+    """One ``with <threading lock>:`` statement (for loop-hygiene lint)."""
+
+    lock_id: str
+    lineno: int
+
+
+@dataclass(frozen=True)
+class CallEvent:
+    """One call expression, with what we resolved it to."""
+
+    node: ast.Call
+    resolved: ClassInfo | FuncInfo | str | None
+    held: tuple[str, ...]
+    lineno: int
+
+
+@dataclass(frozen=True)
+class AwaitEvent:
+    held: tuple[str, ...]
+    lineno: int
+
+
+@dataclass
+class FunctionEvents:
+    """Everything the passes need from one function body."""
+
+    func: FuncInfo
+    accesses: list[Access] = field(default_factory=list)
+    acquires: list[Acquire] = field(default_factory=list)
+    with_locks: list[WithLock] = field(default_factory=list)
+    calls: list[CallEvent] = field(default_factory=list)
+    awaits: list[AwaitEvent] = field(default_factory=list)
+
+
+class _EventWalker:
+    def __init__(
+        self,
+        model: ConcurrencyModel,
+        module: str,
+        cls: ClassInfo | None,
+        func: FuncInfo,
+        *,
+        entry_held: tuple[str, ...] = (),
+    ) -> None:
+        self.model = model
+        self.module = module
+        self.cls = cls
+        self.func = func
+        self.events = FunctionEvents(func=func)
+        self.local_types: dict[str, str] = {}
+        self.entry_held = entry_held
+        self._identity_nodes: set[int] = set()
+        self._write_nodes: set[int] = set()
+
+    # -- lock expression recognition ----------------------------------------
+
+    def _lock_site_of(self, expr: ast.expr) -> LockSite | None:
+        """``self.<lock>`` or ``<typed local>.<lock>`` -> its LockSite."""
+        if not isinstance(expr, ast.Attribute):
+            return None
+        owner: ClassInfo | None = None
+        if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+            owner = self.cls
+        else:
+            owner = self.model.infer_type(
+                expr.value, module=self.module, cls=self.cls, local_types=self.local_types
+            )
+        if owner is None:
+            return None
+        return self.model.find_lock(owner, expr.attr)
+
+    # -- statements ----------------------------------------------------------
+
+    def walk(self) -> FunctionEvents:
+        self._stmts(self.func.node.body, self.entry_held)
+        return self.events
+
+    def _stmts(self, body: Sequence[ast.stmt], held: tuple[str, ...]) -> None:
+        for stmt in body:
+            self._stmt(stmt, held)
+
+    def _stmt(self, stmt: ast.stmt, held: tuple[str, ...]) -> None:
+        if isinstance(stmt, ast.With):
+            acquired: list[str] = []
+            for item in stmt.items:
+                site = self._lock_site_of(item.context_expr)
+                self._expr(item.context_expr, held)
+                if site is not None:
+                    self.events.acquires.append(
+                        Acquire(site.node_id, site.kind, held + tuple(acquired), stmt.lineno)
+                    )
+                    self.events.with_locks.append(WithLock(site.node_id, stmt.lineno))
+                    acquired.append(site.node_id)
+            self._stmts(stmt.body, held + tuple(acquired))
+        elif isinstance(stmt, ast.AsyncWith):
+            for item in stmt.items:
+                self._expr(item.context_expr, held)
+            self._stmts(stmt.body, held)
+        elif isinstance(stmt, (ast.If,)):
+            self._expr(stmt.test, held)
+            self._stmts(stmt.body, held)
+            self._stmts(stmt.orelse, held)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._expr(stmt.iter, held)
+            self._mark_store(stmt.target)
+            self._expr(stmt.target, held)
+            self._stmts(stmt.body, held)
+            self._stmts(stmt.orelse, held)
+        elif isinstance(stmt, ast.While):
+            self._expr(stmt.test, held)
+            self._stmts(stmt.body, held)
+            self._stmts(stmt.orelse, held)
+        elif isinstance(stmt, ast.Try):
+            self._stmts(stmt.body, held)
+            for handler in stmt.handlers:
+                self._stmts(handler.body, held)
+            self._stmts(stmt.orelse, held)
+            self._stmts(stmt.finalbody, held)
+        elif isinstance(stmt, ast.Assign):
+            self._expr(stmt.value, held)
+            for target in stmt.targets:
+                self._mark_store(target)
+                self._expr(target, held)
+            self._track_local(stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._expr(stmt.value, held)
+            self._mark_store(stmt.target)
+            self._expr(stmt.target, held)
+        elif isinstance(stmt, ast.AugAssign):
+            self._expr(stmt.value, held)
+            self._mark_store(stmt.target)
+            self._expr(stmt.target, held)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._mark_store(target)
+                self._expr(target, held)
+        elif isinstance(stmt, (ast.Expr, ast.Return)):
+            if getattr(stmt, "value", None) is not None:
+                self._expr(stmt.value, held)  # type: ignore[arg-type]
+        elif isinstance(stmt, ast.Assert):
+            self._expr(stmt.test, held)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._expr(stmt.exc, held)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            pass  # nested definitions: bodies run later, not under this held-set
+        # Pass/Break/Continue/Import/Global/Nonlocal: nothing to do.
+
+    def _track_local(self, stmt: ast.Assign) -> None:
+        """``entry = self.get(name)``-style local typing."""
+        if len(stmt.targets) != 1 or not isinstance(stmt.targets[0], ast.Name):
+            return
+        inferred = self.model.infer_type(
+            stmt.value, module=self.module, cls=self.cls, local_types=self.local_types
+        )
+        if inferred is not None:
+            self.local_types[stmt.targets[0].id] = inferred.name
+
+    def _mark_store(self, target: ast.expr) -> None:
+        """Flag `self.<attr>` (and tuple elements) as written."""
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._mark_store(elt)
+        elif isinstance(target, ast.Attribute):
+            self._write_nodes.add(id(target))
+        elif isinstance(target, ast.Subscript):
+            # `self._values[key] = v` writes through the container.
+            if isinstance(target.value, ast.Attribute):
+                self._write_nodes.add(id(target.value))
+            self._expr_noop(target.slice)
+
+    def _expr_noop(self, _: ast.expr) -> None:
+        return None
+
+    # -- expressions ---------------------------------------------------------
+
+    def _expr(self, expr: ast.expr, held: tuple[str, ...]) -> None:
+        if isinstance(expr, ast.Await):
+            self.events.awaits.append(AwaitEvent(held, expr.lineno))
+            self._expr(expr.value, held)
+            return
+        if isinstance(expr, ast.Compare):
+            self._mark_identity_tests(expr)
+        if isinstance(expr, ast.Call):
+            self._call(expr, held)
+            return
+        if isinstance(expr, ast.Attribute):
+            self._attribute(expr, held)
+            self._expr(expr.value, held)
+            return
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self._expr(child, held)
+            elif isinstance(child, ast.comprehension):
+                self._expr(child.iter, held)
+                for cond in child.ifs:
+                    self._expr(cond, held)
+
+    def _mark_identity_tests(self, cmp: ast.Compare) -> None:
+        """`self.x is None` / `is not None`: access does not touch state."""
+        operands = [cmp.left, *cmp.comparators]
+        if len(operands) != 2 or not all(isinstance(op, (ast.Is, ast.IsNot)) for op in cmp.ops):
+            return
+        names = [o for o in operands if isinstance(o, ast.Attribute)]
+        nones = [
+            o for o in operands if isinstance(o, ast.Constant) and o.value is None
+        ]
+        if len(names) == 1 and len(nones) == 1:
+            self._identity_nodes.add(id(names[0]))
+
+    def _attribute(self, expr: ast.Attribute, held: tuple[str, ...]) -> None:
+        if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+            self.events.accesses.append(
+                Access(
+                    attr=expr.attr,
+                    write=id(expr) in self._write_nodes,
+                    held=held,
+                    lineno=expr.lineno,
+                    identity_test=id(expr) in self._identity_nodes,
+                )
+            )
+
+    def _call(self, call: ast.Call, held: tuple[str, ...]) -> None:
+        func = call.func
+        # Explicit lock-method calls: `self._lock.acquire()` / `.release()`.
+        if isinstance(func, ast.Attribute) and func.attr in ("acquire", "release"):
+            site = self._lock_site_of(func.value)
+            if site is not None:
+                if func.attr == "acquire":
+                    self.events.acquires.append(
+                        Acquire(site.node_id, site.kind, held, call.lineno, explicit=True)
+                    )
+                for arg in call.args:
+                    self._expr(arg, held)
+                return
+        # Container-mutator writes: `self._entries.clear()`.
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in MUTATOR_METHODS
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id == "self"
+        ):
+            self._write_nodes.add(id(func.value))
+        resolved = self.model.resolve_callable(
+            func,
+            module=self.module,
+            cls=self.cls,
+            local_types=self.local_types,
+            params=self.func.params,
+            callback_params=self.func.callback_params,
+        )
+        self.events.calls.append(CallEvent(call, resolved, held, call.lineno))
+        self._expr(func, held)
+        for arg in call.args:
+            self._expr(arg, held)
+        for kw in call.keywords:
+            self._expr(kw.value, held)
+
+
+def function_events(
+    model: ConcurrencyModel,
+    cls: ClassInfo | None,
+    func: FuncInfo,
+    *,
+    entry_held: tuple[str, ...] = (),
+) -> FunctionEvents:
+    """Extract the event stream of one function body.
+
+    ``entry_held`` seeds the held-set for caller-must-hold helpers (the
+    ``assume_held`` methods of a guard registration).
+    """
+    return _EventWalker(model, func.module, cls, func, entry_held=entry_held).walk()
+
+
+# ---------------------------------------------------------------------------
+# building the model
+# ---------------------------------------------------------------------------
+
+
+def _scan_module(name: str, path: str, source: str, *, is_package: bool) -> ModuleInfo:
+    tree = ast.parse(source, filename=path)
+    info = ModuleInfo(name=name, path=path, tree=tree, is_package=is_package)
+    _ModuleScanner(info).visit(tree)
+    return info
+
+
+def model_from_sources(sources: dict[str, str]) -> ConcurrencyModel:
+    """Build a model straight from ``{module_name: source}`` (tests/fixtures)."""
+    modules = {
+        name: _scan_module(name, f"<{name}>", src, is_package=name.count(".") == 0)
+        for name, src in sources.items()
+    }
+    return ConcurrencyModel(modules)
+
+
+def _package_files(package: str) -> list[tuple[str, Path, bool]]:
+    """(module name, path, is_package) for every source file of ``package``."""
+    spec = importlib_util.find_spec(package)
+    if spec is None or not spec.submodule_search_locations:
+        raise ModuleNotFoundError(f"package {package!r} not found on sys.path")
+    root = Path(next(iter(spec.submodule_search_locations)))
+    out: list[tuple[str, Path, bool]] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).with_suffix("")
+        parts = [p for p in rel.parts]
+        if parts[-1] == "__init__":
+            name = ".".join([package, *parts[:-1]]) if parts[:-1] else package
+            out.append((name, path, True))
+        else:
+            out.append((".".join([package, *parts]), path, False))
+    return out
+
+
+def scan_packages(packages: Sequence[str]) -> ConcurrencyModel:
+    """Scan the source files of ``packages`` into one model (no imports run)."""
+    modules: dict[str, ModuleInfo] = {}
+    for package in packages:
+        for name, path, is_package in _package_files(package):
+            modules[name] = _scan_module(
+                name, str(path), path.read_text(encoding="utf-8"), is_package=is_package
+            )
+    return ConcurrencyModel(modules)

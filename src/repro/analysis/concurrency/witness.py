@@ -1,0 +1,248 @@
+"""WIT pass: runtime witness of the static concurrency model.
+
+The static passes prove discipline from source; this module checks the
+proofs against reality.  A :class:`LockWitness` instruments live objects:
+
+* :meth:`LockWitness.wrap` replaces a ``threading.Lock``/``RLock``
+  attribute with a :class:`WitnessLock` proxy that records every
+  *observed* acquisition order — "thread T acquired B while holding A"
+  becomes the dynamic edge ``A -> B``;
+* :meth:`LockWitness.watch` swaps the object's class for a dynamic
+  subclass whose ``__getattribute__``/``__setattr__`` verify that the
+  object's witnessed lock is held by the accessing thread for every
+  guarded attribute touch.
+
+After a threaded stress run, :meth:`LockWitness.cross_check` compares the
+dynamic evidence against the static :class:`~.lockorder.LockOrderGraph`:
+
+* WIT001 — an observed order edge between two statically-known locks that
+  the static graph does not contain (even transitively): the static
+  model rotted and can no longer be trusted to prove deadlock-freedom;
+* WIT002 — a guarded attribute was touched by a thread not holding its
+  lock: the discipline the LOCK pass proves for ``self.<attr>`` sites
+  was escaped through some path the self-centric lint cannot see
+  (cross-object access, exported aliases).
+
+Lock node IDs are derived by walking the object's MRO against the static
+lock inventory, so a ``WindowedHistogram`` instance witnesses as
+``repro.obs.metrics.Histogram._lock`` — the same canonical name the static
+passes use, which is what makes the cross-check exact.
+
+Everything here is opt-in test harness: production code never imports it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable, Mapping
+
+from ..findings import Finding
+from ..rules import make_finding
+from .lockorder import LockOrderGraph
+
+__all__ = ["WitnessLock", "LockWitness"]
+
+
+class WitnessLock:
+    """Transparent lock proxy that reports acquisitions to its witness."""
+
+    def __init__(self, inner: Any, node_id: str, witness: "LockWitness") -> None:
+        self._inner = inner
+        self.node_id = node_id
+        self._witness = witness
+        # ident -> recursion depth (supports RLock re-entry).
+        self._holders: dict[int, int] = {}
+        self._holders_lock = threading.Lock()
+
+    # -- acquisition ---------------------------------------------------------
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._witness._on_acquire(self)
+            ident = threading.get_ident()
+            with self._holders_lock:
+                self._holders[ident] = self._holders.get(ident, 0) + 1
+        return got
+
+    def release(self) -> None:
+        ident = threading.get_ident()
+        with self._holders_lock:
+            depth = self._holders.get(ident, 0)
+            if depth <= 1:
+                self._holders.pop(ident, None)
+            else:
+                self._holders[ident] = depth - 1
+        self._witness._on_release(self)
+        self._inner.release()
+
+    def __enter__(self) -> "WitnessLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked() if hasattr(self._inner, "locked") else bool(self._holders)
+
+    def held_by_current_thread(self) -> bool:
+        with self._holders_lock:
+            return self._holders.get(threading.get_ident(), 0) > 0
+
+
+class LockWitness:
+    """Recorder + cross-checker for a set of witnessed locks and objects.
+
+    ``inventory`` is the static lock universe (canonical node IDs from
+    :meth:`~.model.ConcurrencyModel.lock_inventory`); node derivation walks
+    each object's MRO against it so dynamic names match static names.
+    """
+
+    def __init__(self, inventory: Iterable[str] = ()) -> None:
+        self.inventory = set(inventory)
+        self._tls = threading.local()
+        self._state_lock = threading.Lock()
+        #: (held, acquired) -> observation count.
+        self.order_edges: dict[tuple[str, str], int] = {}
+        #: (node_id, attr, write) -> observation count of unguarded access.
+        self.guard_violations: dict[tuple[str, str, bool], int] = {}
+        #: guarded accesses that *were* correctly locked (coverage signal).
+        self.guarded_accesses: int = 0
+        # id(obj) -> (obj, lock_attr, WitnessLock, original class or None)
+        self._wrapped: dict[int, list[Any]] = {}
+
+    # -- held-stack bookkeeping ----------------------------------------------
+
+    def _held(self) -> list[str]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _on_acquire(self, lock: WitnessLock) -> None:
+        held = self._held()
+        with self._state_lock:
+            for h in held:
+                if h != lock.node_id:
+                    key = (h, lock.node_id)
+                    self.order_edges[key] = self.order_edges.get(key, 0) + 1
+        held.append(lock.node_id)
+
+    def _on_release(self, lock: WitnessLock) -> None:
+        held = self._held()
+        # Remove the most recent occurrence (locks release LIFO in practice,
+        # but don't require it).
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] == lock.node_id:
+                del held[i]
+                break
+
+    # -- instrumentation -----------------------------------------------------
+
+    def derive_node_id(self, obj: Any, lock_attr: str) -> str:
+        """Canonical node ID via the MRO against the static inventory."""
+        for klass in type(obj).__mro__:
+            candidate = f"{klass.__module__}.{klass.__qualname__}.{lock_attr}"
+            if candidate in self.inventory:
+                return candidate
+        klass = type(obj)
+        return f"{klass.__module__}.{klass.__qualname__}.{lock_attr}"
+
+    def wrap(self, obj: Any, lock_attr: str, *, node_id: str | None = None) -> WitnessLock:
+        """Replace ``obj.<lock_attr>`` with a recording proxy."""
+        inner = getattr(obj, lock_attr)
+        if isinstance(inner, WitnessLock):
+            return inner
+        wl = WitnessLock(inner, node_id or self.derive_node_id(obj, lock_attr), self)
+        object.__setattr__(obj, lock_attr, wl)
+        self._wrapped.setdefault(id(obj), [obj, {}, None])[1][lock_attr] = (wl, inner)
+        return wl
+
+    def watch(self, obj: Any, guarded: Mapping[str, str]) -> None:
+        """Verify ``obj``'s ``{attr: lock_attr}`` accesses hold their lock.
+
+        The named lock attributes must already be wrapped (or are wrapped
+        here).  Implemented by swapping in a dynamic subclass, so only this
+        instance pays the interception cost.
+        """
+        for lock_attr in set(guarded.values()):
+            self.wrap(obj, lock_attr)
+        entry = self._wrapped[id(obj)]
+        orig_cls = type(obj)
+        witness = self
+        guard_map = dict(guarded)
+        lock_attrs = frozenset(guard_map.values())
+
+        def _check(inst: Any, name: str, write: bool) -> None:
+            lock = orig_cls.__getattribute__(inst, guard_map[name])
+            if isinstance(lock, WitnessLock) and lock.held_by_current_thread():
+                with witness._state_lock:
+                    witness.guarded_accesses += 1
+                return
+            node = lock.node_id if isinstance(lock, WitnessLock) else guard_map[name]
+            key = (node, name, write)
+            with witness._state_lock:
+                witness.guard_violations[key] = witness.guard_violations.get(key, 0) + 1
+
+        class _Watched(orig_cls):  # type: ignore[misc, valid-type]
+            def __getattribute__(self, name: str) -> Any:
+                if name in guard_map and name not in lock_attrs:
+                    _check(self, name, False)
+                return orig_cls.__getattribute__(self, name)
+
+            def __setattr__(self, name: str, value: Any) -> None:
+                if name in guard_map:
+                    _check(self, name, True)
+                orig_cls.__setattr__(self, name, value)
+
+        _Watched.__name__ = orig_cls.__name__
+        _Watched.__qualname__ = orig_cls.__qualname__
+        entry[2] = orig_cls
+        object.__setattr__(obj, "__class__", _Watched)
+
+    def unwrap_all(self) -> None:
+        """Restore every wrapped lock and watched class."""
+        for obj, locks, orig_cls in self._wrapped.values():
+            if orig_cls is not None:
+                object.__setattr__(obj, "__class__", orig_cls)
+            for lock_attr, (_wl, inner) in locks.items():
+                object.__setattr__(obj, lock_attr, inner)
+        self._wrapped.clear()
+
+    # -- cross-check ---------------------------------------------------------
+
+    def cross_check(self, static_graph: LockOrderGraph) -> list[Finding]:
+        """Dynamic evidence vs the static model; findings on divergence."""
+        findings: list[Finding] = []
+        known = set(static_graph.lock_kinds) | self.inventory
+        allowed = static_graph.edge_pairs() | static_graph.transitive_closure()
+        with self._state_lock:
+            edges = dict(self.order_edges)
+            violations = dict(self.guard_violations)
+        for (held, acquired), count in sorted(edges.items()):
+            if held == acquired:
+                continue  # RLock re-entry, already witnessed as legal
+            if held not in known or acquired not in known:
+                continue  # a lock outside the modeled universe
+            if (held, acquired) not in allowed:
+                findings.append(
+                    make_finding(
+                        "WIT001",
+                        f"runtime acquired {acquired} while holding {held} "
+                        f"({count}x) but the static graph has no such path",
+                        location={"module": "(witness)", "qualname": f"{held}->{acquired}"},
+                        context={"detail": f"{held}->{acquired}", "count": count},
+                    )
+                )
+        for (node, attr, write), count in sorted(violations.items()):
+            findings.append(
+                make_finding(
+                    "WIT002",
+                    f"guarded attribute {attr!r} {'written' if write else 'read'} "
+                    f"{count}x without holding {node}",
+                    location={"module": "(witness)", "qualname": f"{node}:{attr}"},
+                    context={"detail": f"{node}:{attr}", "write": write, "count": count},
+                )
+            )
+        return findings

@@ -14,6 +14,15 @@ Rule families
 ``SMEM``  §5.1 double-buffer phase hazards and §5.2 bank-conflict lint.
 ``RES``   §4.1 resource budgets against :mod:`repro.gpusim.device` limits.
 ``COND``  §5.3/§6.2.2 transform conditioning of the interpolation points.
+
+Host-side rule families (DESIGN.md "Host concurrency model", sections
+``§H1``–``§H4`` — the host analogue of the paper's §5.1 interval proofs,
+applied to the runtime/serve/obs thread and event-loop surface):
+
+``LOCK``  §H1 lock discipline: guarded-attribute access vs its lock.
+``ORD``   §H2 lock ordering: static acquisition graph, cycles, holds.
+``LOOP``  §H3 event-loop hygiene: blocking work inside ``async def``.
+``WIT``   §H4 dynamic witness: runtime evidence vs the static model.
 """
 
 from __future__ import annotations
@@ -203,6 +212,101 @@ _RULE_LIST = [
         Severity.INFO,
         "§6.2.2",
         "alpha=16 schemes are float32-only (fused.py enforces this at run time)",
+    ),
+    # --- host lock discipline (DESIGN.md §H1) ------------------------------
+    Rule(
+        "LOCK001",
+        "guarded write: a @guarded_by attribute is written outside its lock",
+        Severity.ERROR,
+        "§H1",
+        "wrap the write in `with self.<lock>:` or move it into an init-exempt method",
+    ),
+    Rule(
+        "LOCK002",
+        "guarded read: a @guarded_by attribute is read outside its lock",
+        Severity.WARNING,
+        "§H1",
+        "snapshot the state under the lock and export the snapshot",
+    ),
+    Rule(
+        "LOCK003",
+        "guard registry rot: a registered class, lock or attribute no longer exists in source",
+        Severity.ERROR,
+        "§H1",
+        "update repro.analysis.concurrency.registry to match the refactored code",
+    ),
+    Rule(
+        "LOCK004",
+        "unregistered lock: a threading.Lock/RLock site has no guard registration",
+        Severity.WARNING,
+        "§H1",
+        "register the lock and the attributes it guards in repro.analysis.concurrency.registry",
+    ),
+    # --- host lock ordering (DESIGN.md §H2) --------------------------------
+    Rule(
+        "ORD001",
+        "lock-order cycle: the static acquisition graph contains a deadlock-capable cycle",
+        Severity.ERROR,
+        "§H2",
+        "impose a global acquisition order (or release the outer lock before the inner acquire)",
+    ),
+    Rule(
+        "ORD002",
+        "callback under lock: a user-supplied callable is invoked while a lock is held",
+        Severity.WARNING,
+        "§H2",
+        "snapshot state under the lock, release it, then invoke the callback",
+    ),
+    Rule(
+        "ORD003",
+        "blocking join under lock: shutdown/join/result is awaited while a lock is held",
+        Severity.WARNING,
+        "§H2",
+        "swap the resource out under the lock, then join it after release (engine.shutdown idiom)",
+    ),
+    # --- event-loop hygiene (DESIGN.md §H3) --------------------------------
+    Rule(
+        "LOOP001",
+        "blocking call on the event loop: a known-blocking API is reachable inside async def",
+        Severity.ERROR,
+        "§H3",
+        "hop to a worker via loop.run_in_executor (the scheduler's _execute idiom)",
+    ),
+    Rule(
+        "LOOP002",
+        "threading lock on the event loop: async def acquires a threading lock inline",
+        Severity.WARNING,
+        "§H3",
+        "keep the critical section O(fields) and uncontended, or move it to the executor",
+    ),
+    Rule(
+        "LOOP003",
+        "heavy sync work on the event loop: compute/teardown call without an executor hop",
+        Severity.WARNING,
+        "§H3",
+        "run NumPy contractions and pool shutdowns in an executor, not on the loop",
+    ),
+    Rule(
+        "LOOP004",
+        "await under threading lock: async def awaits while holding a threading lock",
+        Severity.ERROR,
+        "§H3",
+        "never hold a threading lock across an await; release before suspension",
+    ),
+    # --- dynamic witness cross-check (DESIGN.md §H4) ------------------------
+    Rule(
+        "WIT001",
+        "witness order mismatch: a runtime lock-order edge is absent from the static model",
+        Severity.ERROR,
+        "§H4",
+        "the static graph rotted: teach lockorder.py the call path the witness observed",
+    ),
+    Rule(
+        "WIT002",
+        "witness guard violation: a guarded attribute was accessed without its lock at runtime",
+        Severity.ERROR,
+        "§H4",
+        "the access path escapes the lock; guard it (and check the @guarded_by registration)",
     ),
 ]
 

@@ -34,6 +34,11 @@ ranking.  Activation is **explicit** (:func:`activate`): merely fitting or
 having a ``CALIB_<host>.json`` on disk never changes the modeled suites,
 so the committed Figure 8/9/Table 2 baselines stay machine-independent.
 
+Naming note: the near-twin :mod:`repro.gpusim.calibration` (trailing
+``-ion``) is a different layer — the hand-set architectural issue
+efficiencies of the *paper's* GPUs, set once and never machine-fitted.
+This module fits *this machine*; that module models *their hardware*.
+
 CLI::
 
     python -m repro.gpusim.calibrate fit [--reps 3] [--out DIR] [--no-save]

@@ -104,33 +104,51 @@ class Counter(_Metric):
 
     def value(self, **labels: Any) -> float:
         """Value for one label set (0 if never incremented)."""
-        return self._values.get(_label_key(labels), 0.0)
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
 
     def total(self) -> float:
         """Sum across all label sets."""
-        return sum(self._values.values())
+        with self._lock:
+            return sum(self._values.values())
 
     def _items(self) -> Iterator[tuple[LabelKey, float]]:
-        yield from sorted(self._values.items())
+        # Snapshot under the lock, yield outside it: a generator that held a
+        # non-reentrant lock across yields would deadlock any consumer that
+        # touches the instrument mid-iteration.
+        with self._lock:
+            items = sorted(self._values.items())
+        yield from items
 
 
 class Gauge(_Metric):
-    """Last-written value per label set."""
+    """Last-written value per label set.
+
+    Sets are lock-guarded like :class:`Counter` increments: ``gauge_set``
+    runs on pool worker threads, and exports must not read a dict that is
+    being resized under them.
+    """
 
     kind = "gauge"
 
     def __init__(self, name: str, help: str = "") -> None:
         super().__init__(name, help)
         self._values: dict[LabelKey, float] = {}
+        self._lock = threading.Lock()
 
     def set(self, value: float, **labels: Any) -> None:
-        self._values[_label_key(labels)] = float(value)
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = float(value)
 
     def value(self, **labels: Any) -> float | None:
-        return self._values.get(_label_key(labels))
+        with self._lock:
+            return self._values.get(_label_key(labels))
 
     def _items(self) -> Iterator[tuple[LabelKey, float]]:
-        yield from sorted(self._values.items())
+        with self._lock:
+            items = sorted(self._values.items())
+        yield from items
 
 
 class Histogram(_Metric):
@@ -160,15 +178,21 @@ class Histogram(_Metric):
                 s["max"] = max(s["max"], value)
 
     def summary(self, **labels: Any) -> dict[str, float] | None:
-        s = self._values.get(_label_key(labels))
-        if s is None:
-            return None
-        return {**s, "mean": s["sum"] / s["count"]}
+        with self._lock:
+            s = self._values.get(_label_key(labels))
+            if s is None:
+                return None
+            return {**s, "mean": s["sum"] / s["count"]}
 
     def _items(self) -> Iterator[tuple[LabelKey, dict[str, float]]]:
-        for key in sorted(self._values):
-            s = self._values[key]
-            yield key, {**s, "mean": s["sum"] / s["count"]}
+        # Snapshot (with the derived mean baked in) under the lock, yield
+        # outside it — see Counter._items for why.
+        with self._lock:
+            items = []
+            for key in sorted(self._values):
+                s = self._values[key]
+                items.append((key, {**s, "mean": s["sum"] / s["count"]}))
+        yield from items
 
 
 #: Log2-spaced bucket upper edges covering sub-millisecond transform spans
@@ -318,7 +342,8 @@ class WindowedHistogram(Histogram):
                 if i >= len(self.bucket_edges):
                     with self._lock:
                         s = self._values.get(key)
-                    return float(s["max"]) if s else lo
+                        top = float(s["max"]) if s else lo
+                    return top
                 hi = self.bucket_edges[i]
                 frac = (rank - seen) / c
                 return lo + (hi - lo) * frac
@@ -344,24 +369,35 @@ class WindowedHistogram(Histogram):
 
 
 class MetricsRegistry:
-    """Get-or-create home for every named instrument in the process."""
+    """Get-or-create home for every named instrument in the process.
+
+    The instrument table is lock-guarded: get-or-create races from pool
+    workers must not double-create an instrument (two threads would then
+    increment different Counter objects under the same name and one would
+    silently win at export time).  The registry lock is never held while an
+    instrument's own lock is taken — exports snapshot the table first, then
+    render each instrument outside it — which keeps the lock-order graph
+    between registry and instruments edge-free.
+    """
 
     def __init__(self) -> None:
         self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
 
     def _get(self, cls: type, name: str, help: str) -> Any:
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = cls(name, help)
-            self._metrics[name] = metric
-        elif not isinstance(metric, cls):
-            raise TypeError(
-                f"metric {name!r} already registered as {metric.kind}, "
-                f"requested {cls.kind}"  # type: ignore[attr-defined]
-            )
-        elif help and not metric.help:
-            metric.help = help
-        return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}, "
+                    f"requested {cls.kind}"  # type: ignore[attr-defined]
+                )
+            elif help and not metric.help:
+                metric.help = help
+            return metric
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._get(Counter, name, help)
@@ -383,39 +419,47 @@ class MetricsRegistry:
     ) -> WindowedHistogram:
         """Get-or-create a :class:`WindowedHistogram` (window args apply on
         first creation only; later callers share the existing instance)."""
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = WindowedHistogram(
-                name, help, window_s=window_s, slices=slices, buckets=buckets
-            )
-            self._metrics[name] = metric
-        elif not isinstance(metric, WindowedHistogram):
-            raise TypeError(
-                f"metric {name!r} already registered as {metric.kind}, "
-                f"requested windowed_histogram"
-            )
-        elif help and not metric.help:
-            metric.help = help
-        return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = WindowedHistogram(
+                    name, help, window_s=window_s, slices=slices, buckets=buckets
+                )
+                self._metrics[name] = metric
+            elif not isinstance(metric, WindowedHistogram):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}, "
+                    f"requested windowed_histogram"
+                )
+            elif help and not metric.help:
+                metric.help = help
+            return metric
 
     def get(self, name: str) -> _Metric | None:
-        return self._metrics.get(name)
+        with self._lock:
+            return self._metrics.get(name)
 
     def names(self) -> list[str]:
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     def reset(self) -> None:
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()
+
+    def _snapshot(self) -> list[tuple[str, _Metric]]:
+        """Name-sorted table snapshot; render instruments outside our lock."""
+        with self._lock:
+            return sorted(self._metrics.items())
 
     def as_dict(self) -> dict[str, Any]:
         """All metrics as one JSON-able object keyed by metric name."""
-        return {name: self._metrics[name].as_dict() for name in self.names()}
+        return {name: metric.as_dict() for name, metric in self._snapshot()}
 
     def top_counters(self, k: int = 10) -> list[tuple[str, str, float]]:
         """Largest counter values as ``(name, label_string, value)`` rows."""
         rows = []
-        for name in self.names():
-            metric = self._metrics[name]
+        for name, metric in self._snapshot():
             if isinstance(metric, Counter):
                 for key, value in metric._items():
                     rows.append((name, label_string(key), value))

@@ -68,6 +68,6 @@ def aggregate(tracer: Tracer) -> dict[str, dict[str, float]]:
         for child in rec.children:
             visit(child, child_active)
 
-    for root in tracer.roots:
+    for root in tracer.snapshot_roots():
         visit(root, frozenset())
     return out

@@ -192,9 +192,20 @@ class Tracer:
                 if stack and stack[-1] is rec:
                     stack.pop()
 
+    def snapshot_roots(self) -> list[SpanRecord]:
+        """Locked copy of the root list for export-side iteration.
+
+        Worker threads append roots concurrently; exporters must not walk
+        ``self.roots`` while it resizes under them.  The records themselves
+        are shared (an in-flight span's children may still grow), which is
+        fine for the append-only tree shape the exporters read.
+        """
+        with self._lock:
+            return list(self.roots)
+
     def iter_spans(self) -> Iterator[tuple[SpanRecord, int]]:
         """All spans depth-first as ``(record, depth)``."""
-        stack = [(r, 0) for r in reversed(self.roots)]
+        stack = [(r, 0) for r in reversed(self.snapshot_roots())]
         while stack:
             rec, depth = stack.pop()
             yield rec, depth

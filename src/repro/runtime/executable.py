@@ -281,7 +281,8 @@ class ConvExecutable:
 
     @property
     def cached_filter_versions(self) -> int:
-        return len(self._filters)
+        with self._flock:
+            return len(self._filters)
 
     # -- predicted wallclock (timing-ledger / serve cost model) ------------
 

@@ -197,11 +197,13 @@ class RegisteredModel:
     # -- introspection ------------------------------------------------------
 
     def describe(self) -> dict[str, object]:
+        with self._lock:
+            weight_version = self.weight_version
         return {
             "name": self.name,
             "input_shapes": [list(s) for s in self.input_shapes],
             "dtype": self.dtype,
-            "weight_version": self.weight_version,
+            "weight_version": weight_version,
             "winograd_convs": self.winograd_convs,
             "total_convs": self.total_convs,
             "executables_resolved": self.executables_resolved,

@@ -1,0 +1,646 @@
+"""Tests for the concurrency sanitizer: LOCK / ORD / LOOP passes.
+
+Corruption fixtures inject one deliberate concurrency bug each into a
+synthetic module (via ``model_from_sources``) and assert the exact rule ID
+the sanitizer reports — the same proof style the kernel sanitizer's
+ablation fixtures use.  The real-tree tests then pin the shipped packages'
+verdict: strict-clean against the checked-in baseline, with the lock-order
+graph exactly the acyclic instrumentation edges we expect.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, Severity
+from repro.analysis.__main__ import main as analysis_main
+from repro.analysis.concurrency import (
+    DEFAULT_TARGETS,
+    GuardSpec,
+    analyze_concurrency,
+    fingerprint,
+    load_baseline,
+    lock_discipline_findings,
+    lock_order_findings,
+    loop_hygiene_findings,
+    model_from_sources,
+    scan_packages,
+    write_baseline,
+)
+
+BASELINE = Path(__file__).resolve().parent.parent / "analysis_conc_baseline.json"
+
+
+def _ids(findings):
+    return sorted(f.rule_id for f in findings)
+
+
+class TestLockDiscipline:
+    SPEC = GuardSpec("fix", "Store", "_lock", ("_data",))
+
+    def _model(self, body: str):
+        return model_from_sources({"fix": body})
+
+    def test_unguarded_write_is_lock001(self):
+        model = self._model(
+            """
+import threading
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._data = {}
+
+    def put(self, k, v):
+        self._data[k] = v
+
+    def get(self, k):
+        with self._lock:
+            return self._data.get(k)
+"""
+        )
+        findings = lock_discipline_findings(model, specs=(self.SPEC,))
+        assert _ids(findings) == ["LOCK001"]
+        (f,) = findings
+        assert f.severity is Severity.ERROR
+        assert f.location["qualname"] == "Store.put"
+        assert f.context["detail"] == "_data"
+
+    def test_unguarded_read_is_lock002(self):
+        model = self._model(
+            """
+import threading
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._data = {}
+
+    def peek(self):
+        return len(self._data)
+"""
+        )
+        findings = lock_discipline_findings(model, specs=(self.SPEC,))
+        assert _ids(findings) == ["LOCK002"]
+
+    def test_disciplined_class_is_clean(self):
+        model = self._model(
+            """
+import threading
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._data = {}
+
+    def put(self, k, v):
+        with self._lock:
+            self._data[k] = v
+
+    def flush(self):
+        with self._lock:
+            self._data.clear()
+"""
+        )
+        assert lock_discipline_findings(model, specs=(self.SPEC,)) == []
+
+    def test_mutator_call_outside_lock_is_a_write(self):
+        model = self._model(
+            """
+import threading
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._data = []
+
+    def drop(self):
+        self._data.clear()
+"""
+        )
+        assert _ids(lock_discipline_findings(model, specs=(self.SPEC,))) == ["LOCK001"]
+
+    def test_assume_held_helper_is_exempt(self):
+        spec = GuardSpec("fix", "Store", "_lock", ("_data",), assume_held=("_evict",))
+        model = self._model(
+            """
+import threading
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._data = {}
+
+    def _evict(self):
+        self._data.popitem()
+
+    def trim(self):
+        with self._lock:
+            self._evict()
+"""
+        )
+        assert lock_discipline_findings(model, specs=(spec,)) == []
+
+    def test_identity_test_is_exempt(self):
+        spec = GuardSpec("fix", "Store", "_lock", ("_slo",))
+        model = self._model(
+            """
+import threading
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._slo = None
+
+    def has_slo(self):
+        return self._slo is not None
+"""
+        )
+        assert lock_discipline_findings(model, specs=(spec,)) == []
+
+    def test_guarded_by_decorator_declares_a_spec(self):
+        model = self._model(
+            """
+import threading
+from repro.analysis.concurrency import guarded_by
+
+@guarded_by("_lock", "_data")
+class Inline:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._data = []
+
+    def bad(self):
+        self._data.append(1)
+"""
+        )
+        assert _ids(lock_discipline_findings(model, specs=())) == ["LOCK001"]
+
+    def test_registry_rot_is_lock003(self):
+        gone = GuardSpec("fix", "Vanished", "_lock", ("_data",))
+        model = self._model("import threading\n")
+        assert _ids(lock_discipline_findings(model, specs=(gone,))) == ["LOCK003"]
+
+    def test_missing_lock_attr_is_lock003(self):
+        spec = GuardSpec("fix", "Store", "_nope", ("_data",))
+        model = self._model(
+            """
+import threading
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._data = {}
+"""
+        )
+        # LOCK003 for the dangling spec, LOCK004 for the now-unregistered lock.
+        assert _ids(lock_discipline_findings(model, specs=(spec,))) == [
+            "LOCK003",
+            "LOCK004",
+        ]
+
+    def test_unregistered_lock_is_lock004(self):
+        model = self._model(
+            """
+import threading
+
+class Rogue:
+    def __init__(self):
+        self._mystery = threading.Lock()
+"""
+        )
+        assert _ids(lock_discipline_findings(model, specs=())) == ["LOCK004"]
+
+
+class TestLockOrder:
+    def test_two_lock_cycle_is_ord001(self):
+        model = model_from_sources(
+            {
+                "fix": """
+import threading
+
+class AB:
+    def __init__(self):
+        self._la = threading.Lock()
+        self._lb = threading.Lock()
+
+    def forward(self):
+        with self._la:
+            with self._lb:
+                pass
+
+    def backward(self):
+        with self._lb:
+            with self._la:
+                pass
+"""
+            }
+        )
+        findings, graph = lock_order_findings(model)
+        assert _ids(findings) == ["ORD001"]
+        (f,) = findings
+        assert f.context["detail"].startswith("cycle:")
+        assert graph.cycles() == [["fix.AB._la", "fix.AB._lb"]]
+
+    def test_consistent_order_is_clean(self):
+        model = model_from_sources(
+            {
+                "fix": """
+import threading
+
+class AB:
+    def __init__(self):
+        self._la = threading.Lock()
+        self._lb = threading.Lock()
+
+    def forward(self):
+        with self._la:
+            with self._lb:
+                pass
+
+    def also_forward(self):
+        with self._la:
+            with self._lb:
+                pass
+"""
+            }
+        )
+        findings, graph = lock_order_findings(model)
+        assert findings == []
+        assert graph.edge_pairs() == {("fix.AB._la", "fix.AB._lb")}
+
+    def test_interprocedural_edge_through_a_method_call(self):
+        model = model_from_sources(
+            {
+                "fix": """
+import threading
+
+class AB:
+    def __init__(self):
+        self._la = threading.Lock()
+        self._lb = threading.Lock()
+
+    def inner(self):
+        with self._lb:
+            pass
+
+    def outer(self):
+        with self._la:
+            self.inner()
+
+    def reverse(self):
+        with self._lb:
+            with self._la:
+                pass
+"""
+            }
+        )
+        findings, graph = lock_order_findings(model)
+        # outer->inner contributes la->lb only through the call chain; with
+        # reverse's direct lb->la edge that closes a cycle.
+        assert ("fix.AB._la", "fix.AB._lb") in graph.edge_pairs()
+        assert _ids(findings) == ["ORD001"]
+
+    def test_non_reentrant_self_acquisition_is_ord001(self):
+        model = model_from_sources(
+            {
+                "fix": """
+import threading
+
+class Re:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def inner(self):
+        with self._lock:
+            pass
+
+    def outer(self):
+        with self._lock:
+            self.inner()
+"""
+            }
+        )
+        findings, _ = lock_order_findings(model)
+        assert _ids(findings) == ["ORD001"]
+        assert findings[0].context["detail"] == "self-loop:fix.Re._lock"
+
+    def test_rlock_self_acquisition_is_allowed(self):
+        model = model_from_sources(
+            {
+                "fix": """
+import threading
+
+class Re:
+    def __init__(self):
+        self._lock = threading.RLock()
+
+    def inner(self):
+        with self._lock:
+            pass
+
+    def outer(self):
+        with self._lock:
+            self.inner()
+"""
+            }
+        )
+        findings, _ = lock_order_findings(model)
+        assert findings == []
+
+    def test_callback_under_lock_is_ord002(self):
+        model = model_from_sources(
+            {
+                "fix": """
+import threading
+from typing import Callable
+
+class Hooked:
+    def __init__(self, hook: Callable[[], None]):
+        self._lock = threading.Lock()
+        self._hook = hook
+
+    def fire(self):
+        with self._lock:
+            self._hook()
+"""
+            }
+        )
+        findings, _ = lock_order_findings(model)
+        assert _ids(findings) == ["ORD002"]
+
+    def test_blocking_join_under_lock_is_ord003(self):
+        model = model_from_sources(
+            {
+                "fix": """
+import threading
+
+class Pool:
+    def __init__(self, pool):
+        self._lock = threading.Lock()
+        self._pool = pool
+
+    def stop(self):
+        with self._lock:
+            self._pool.shutdown(wait=True)
+"""
+            }
+        )
+        findings, _ = lock_order_findings(model)
+        assert _ids(findings) == ["ORD003"]
+
+    def test_swap_then_join_outside_lock_is_clean(self):
+        model = model_from_sources(
+            {
+                "fix": """
+import threading
+
+class Pool:
+    def __init__(self, pool):
+        self._lock = threading.Lock()
+        self._pool = pool
+
+    def stop(self):
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+"""
+            }
+        )
+        findings, _ = lock_order_findings(model)
+        assert findings == []
+
+
+class TestLoopHygiene:
+    def test_blocking_call_in_async_def_is_loop001(self):
+        model = model_from_sources(
+            {
+                "fix": """
+import time
+
+class S:
+    async def work(self):
+        time.sleep(0.01)
+"""
+            }
+        )
+        findings = loop_hygiene_findings(model)
+        assert _ids(findings) == ["LOOP001"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_same_call_in_sync_def_is_fine(self):
+        model = model_from_sources(
+            {
+                "fix": """
+import time
+
+class S:
+    def work(self):
+        time.sleep(0.01)
+"""
+            }
+        )
+        assert loop_hygiene_findings(model) == []
+
+    def test_threading_lock_in_async_def_is_loop002(self):
+        model = model_from_sources(
+            {
+                "fix": """
+import threading
+
+class S:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    async def work(self):
+        with self._lock:
+            pass
+"""
+            }
+        )
+        assert _ids(loop_hygiene_findings(model)) == ["LOOP002"]
+
+    def test_await_under_lock_is_loop004(self):
+        model = model_from_sources(
+            {
+                "fix": """
+import threading
+
+class S:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    async def work(self, fut):
+        with self._lock:
+            await fut
+"""
+            }
+        )
+        assert _ids(loop_hygiene_findings(model)) == ["LOOP002", "LOOP004"]
+
+    def test_heavy_sync_call_is_loop003(self):
+        model = model_from_sources(
+            {
+                "fix": """
+class S:
+    async def work(self, pool):
+        pool.shutdown(wait=True)
+"""
+            }
+        )
+        assert _ids(loop_hygiene_findings(model)) == ["LOOP003"]
+
+    def test_str_join_is_not_a_thread_join(self):
+        model = model_from_sources(
+            {
+                "fix": """
+class S:
+    async def work(self, head):
+        return "\\r\\n".join(head)
+"""
+            }
+        )
+        assert loop_hygiene_findings(model) == []
+
+
+class TestRealTree:
+    """The shipped runtime/serve/obs stack against the shipped registry."""
+
+    def test_strict_clean_with_checked_in_baseline(self):
+        report, _ = analyze_concurrency(baseline=load_baseline(BASELINE))
+        assert report.findings == ()
+        assert report.ok(strict=True)
+
+    def test_without_baseline_only_accepted_scheduler_warnings(self):
+        report, _ = analyze_concurrency()
+        assert report.errors == []
+        assert set(report.rule_ids()) == {"LOOP002", "LOOP003"}
+        assert all(
+            f.location["module"] == "repro.serve.scheduler" for f in report.findings
+        )
+
+    def test_lock_order_graph_is_acyclic_instrumentation_edges(self):
+        _, graph = analyze_concurrency()
+        assert graph.cycles() == []
+        helds = {a for a, _ in graph.edge_pairs()}
+        acquireds = {b for _, b in graph.edge_pairs()}
+        assert helds == {
+            "repro.runtime.cache.ExecutableCache._lock",
+            "repro.runtime.executable.ConvExecutable._flock",
+        }
+        assert acquireds == {
+            "repro.obs.metrics.Counter._lock",
+            "repro.obs.metrics.MetricsRegistry._lock",
+        }
+
+    def test_seeded_registry_covers_whole_lock_inventory(self):
+        model = scan_packages(DEFAULT_TARGETS)
+        report, _ = analyze_concurrency(model=model, select=("LOCK",))
+        assert report.findings == ()  # no LOCK004: every lock registered
+
+    def test_select_filters_rule_families(self):
+        report, _ = analyze_concurrency(select=("LOCK", "ORD"))
+        assert report.findings == ()  # the 6 accepted findings are all LOOP
+
+
+class TestFingerprintsAndBaseline:
+    def test_fingerprint_has_no_line_numbers(self):
+        report, _ = analyze_concurrency()
+        for f in report.findings:
+            fp = fingerprint(f)
+            assert str(f.location["line"]) not in fp.rsplit(":", 1)[-1]
+            assert fp.startswith(f"{f.rule_id}:{f.location['module']}")
+
+    def test_baseline_round_trip(self, tmp_path):
+        report, _ = analyze_concurrency()
+        path = tmp_path / "base.json"
+        n = write_baseline(report.findings, path, reason="test")
+        assert n == len({fingerprint(f) for f in report.findings})
+        loaded = load_baseline(path)
+        assert all(reason == "test" for reason in loaded.values())
+        rebased, _ = analyze_concurrency(baseline=loaded)
+        assert rebased.findings == ()
+        assert sum(rebased.suppressed.values()) == len(report.findings)
+
+    def test_checked_in_baseline_matches_current_tree(self):
+        report, _ = analyze_concurrency()
+        assert {fingerprint(f) for f in report.findings} == set(load_baseline(BASELINE))
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "suppressions": []}))
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(path)
+
+
+class TestHostRulesRegistered:
+    def test_all_host_rules_in_registry(self):
+        host = {r for r in RULES if r[:3] in {"LOC", "ORD", "LOO", "WIT"}}
+        assert host == {
+            "LOCK001", "LOCK002", "LOCK003", "LOCK004",
+            "ORD001", "ORD002", "ORD003",
+            "LOOP001", "LOOP002", "LOOP003", "LOOP004",
+            "WIT001", "WIT002",
+        }
+        for rid in host:
+            assert RULES[rid].section.startswith("§H")
+
+
+class TestCLI:
+    def test_concurrency_strict_gate_passes_with_baseline(self, capsys):
+        rc = analysis_main(
+            [
+                "--target", "repro.runtime",
+                "--target", "repro.serve",
+                "--target", "repro.obs",
+                "--strict",
+                "--baseline", str(BASELINE),
+            ]
+        )
+        assert rc == 0
+        assert "PASS (strict" in capsys.readouterr().out
+
+    def test_strict_without_baseline_fails(self, capsys):
+        rc = analysis_main(["--target", "repro.serve", "--strict"])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_select_filter(self, capsys):
+        rc = analysis_main(["--target", "repro.serve", "--strict", "--select", "LOCK,ORD"])
+        assert rc == 0
+        capsys.readouterr()
+
+    def test_unknown_select_family_errors(self):
+        with pytest.raises(SystemExit):
+            analysis_main(["--target", "repro.serve", "--select", "NOPE"])
+
+    def test_select_requires_target(self):
+        with pytest.raises(SystemExit):
+            analysis_main(["--select", "LOCK"])
+
+    def test_write_baseline_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "written.json"
+        rc = analysis_main(["--target", "repro.serve", "--write-baseline", str(out)])
+        assert rc == 0
+        rc = analysis_main(
+            ["--target", "repro.serve", "--strict", "--baseline", str(out)]
+        )
+        assert rc == 0
+        capsys.readouterr()
+
+    def test_json_mode_reports_edges_and_findings(self, capsys):
+        rc = analysis_main(["--target", "repro.runtime", "--target", "repro.obs", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["subject"]["mode"] == "concurrency"
+        assert any("ExecutableCache._lock" in e for e in doc["lock_order_edges"])
+
+    def test_list_rules_includes_host_families(self, capsys):
+        rc = analysis_main(["--list-rules"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for rid in ("LOCK001", "ORD001", "LOOP001", "WIT001"):
+            assert rid in out

@@ -1,0 +1,337 @@
+"""Dynamic witness tests: runtime evidence vs the static concurrency model.
+
+Three layers:
+
+1. Unit tests of the harness itself (order-edge recording, guarded-access
+   interception, WIT001/WIT002 emission, unwrap restoration);
+2. The acceptance stress test — real ``ExecutableCache`` traffic through
+   the real global metrics registry under witness instrumentation, with
+   zero static/dynamic mismatches against the scanned lock-order graph;
+3. Snapshot-export regression tests for the unguarded reads this PR fixed
+   (Gauge/Histogram/registry exports, tracer forest walks): threads hammer
+   the writers while exporters iterate, and the witness proves every
+   guarded touch held its lock.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import obs
+from repro.analysis.concurrency import (
+    DEFAULT_TARGETS,
+    LockWitness,
+    WitnessLock,
+    build_lock_order_graph,
+    scan_packages,
+)
+from repro.analysis.concurrency.lockorder import LockOrderGraph, OrderEdge
+from repro.obs.metrics import Gauge, MetricsRegistry, WindowedHistogram
+from repro.obs.summary import aggregate
+from repro.obs.tracer import Tracer
+from repro.runtime.cache import ExecutableCache
+from repro.runtime.signature import ConvSignature
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    obs.reset()
+    obs.get_registry().reset()
+    yield
+    obs.disable()
+    obs.reset()
+    obs.get_registry().reset()
+
+
+@pytest.fixture(scope="module")
+def static_model():
+    return scan_packages(DEFAULT_TARGETS)
+
+
+@pytest.fixture(scope="module")
+def static_graph(static_model):
+    return build_lock_order_graph(static_model)
+
+
+class _Box:
+    def __init__(self):
+        self._la = threading.Lock()
+        self._lb = threading.Lock()
+        self._data = {}
+
+
+class TestWitnessLock:
+    def test_records_nested_acquisition_order(self):
+        w = LockWitness({"a", "b"})
+        box = _Box()
+        w.wrap(box, "_la", node_id="a")
+        w.wrap(box, "_lb", node_id="b")
+        with box._la:
+            with box._lb:
+                pass
+        assert w.order_edges == {("a", "b"): 1}
+
+    def test_matching_static_edge_is_clean(self):
+        w = LockWitness({"a", "b"})
+        box = _Box()
+        w.wrap(box, "_la", node_id="a")
+        w.wrap(box, "_lb", node_id="b")
+        with box._la, box._lb:
+            pass
+        graph = LockOrderGraph(
+            edges=[OrderEdge("a", "b", "t")], lock_kinds={"a": "Lock", "b": "Lock"}
+        )
+        assert w.cross_check(graph) == []
+
+    def test_unmodeled_order_edge_is_wit001(self):
+        w = LockWitness({"a", "b"})
+        box = _Box()
+        w.wrap(box, "_la", node_id="a")
+        w.wrap(box, "_lb", node_id="b")
+        with box._lb, box._la:  # reversed vs the static a->b model
+            pass
+        graph = LockOrderGraph(
+            edges=[OrderEdge("a", "b", "t")], lock_kinds={"a": "Lock", "b": "Lock"}
+        )
+        findings = w.cross_check(graph)
+        assert [f.rule_id for f in findings] == ["WIT001"]
+        assert findings[0].context["detail"] == "b->a"
+
+    def test_transitively_modeled_edge_is_clean(self):
+        w = LockWitness({"a", "b", "c"})
+        box = _Box()
+        w.wrap(box, "_la", node_id="a")
+        w.wrap(box, "_lb", node_id="c")
+        with box._la, box._lb:  # a->c observed; static model has a->b->c
+            pass
+        graph = LockOrderGraph(
+            edges=[OrderEdge("a", "b", "t"), OrderEdge("b", "c", "t")],
+            lock_kinds={"a": "Lock", "b": "Lock", "c": "Lock"},
+        )
+        assert w.cross_check(graph) == []
+
+    def test_locks_outside_the_universe_are_ignored(self):
+        w = LockWitness({"a"})
+        box = _Box()
+        w.wrap(box, "_la", node_id="a")
+        w.wrap(box, "_lb", node_id="elsewhere")
+        with box._la, box._lb:
+            pass
+        assert w.cross_check(LockOrderGraph(lock_kinds={"a": "Lock"})) == []
+
+    def test_held_by_current_thread_tracks_ownership(self):
+        w = LockWitness()
+        box = _Box()
+        wl = w.wrap(box, "_la")
+        assert not wl.held_by_current_thread()
+        with box._la:
+            assert wl.held_by_current_thread()
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                assert not pool.submit(wl.held_by_current_thread).result()
+        assert not wl.held_by_current_thread()
+
+
+class TestWatch:
+    def test_unguarded_access_is_wit002(self):
+        w = LockWitness()
+        box = _Box()
+        w.watch(box, {"_data": "_la"})
+        box._data["k"] = 1  # read of _data without the lock
+        findings = w.cross_check(LockOrderGraph())
+        assert {f.rule_id for f in findings} == {"WIT002"}
+
+    def test_guarded_access_is_clean(self):
+        w = LockWitness()
+        box = _Box()
+        w.watch(box, {"_data": "_la"})
+        with box._la:
+            box._data["k"] = 1
+            assert box._data["k"] == 1
+        assert w.guard_violations == {}
+        assert w.guarded_accesses > 0
+        assert w.cross_check(LockOrderGraph()) == []
+
+    def test_unwrap_all_restores_class_and_locks(self):
+        w = LockWitness()
+        box = _Box()
+        original_cls = type(box)
+        original_lock = box._la
+        w.wrap(box, "_la")
+        w.watch(box, {"_data": "_la"})
+        assert isinstance(box._la, WitnessLock)
+        w.unwrap_all()
+        assert type(box) is original_cls
+        assert box._la is original_lock
+        box._data["k"] = 1  # no interception, no violation recorded
+        assert w.guard_violations == {}
+
+    def test_node_id_derived_from_defining_class(self, static_model):
+        # WindowedHistogram inherits Histogram's _lock; the witness must
+        # report the same canonical node the static passes use.
+        w = LockWitness(static_model.lock_inventory())
+        wh = WindowedHistogram("t.win")
+        assert w.derive_node_id(wh, "_lock") == "repro.obs.metrics.Histogram._lock"
+
+
+class TestStressAcceptance:
+    """Real cache traffic + real metrics: zero static/dynamic mismatches."""
+
+    SIGS = [
+        ConvSignature.resolve(ih=8, iw=12 + i, ic=3, oc=4, fh=3, fw=3)
+        for i in range(3)
+    ]
+
+    def test_cache_and_metrics_stress_matches_static_model(
+        self, static_model, static_graph
+    ):
+        obs.enable()
+        w = LockWitness(static_model.lock_inventory())
+        reg = obs.get_registry()
+        cache = ExecutableCache(capacity=2)  # force evictions under load
+        try:
+            w.wrap(cache, "_lock")
+            w.wrap(reg, "_lock")
+            for name in (
+                "runtime.cache.hits",
+                "runtime.cache.misses",
+                "runtime.cache.evictions",
+            ):
+                w.wrap(reg.counter(name), "_lock")
+            w.watch(
+                cache,
+                {
+                    "_entries": "_lock",
+                    "_hits": "_lock",
+                    "_misses": "_lock",
+                    "_evictions": "_lock",
+                    "_capacity": "_lock",
+                },
+            )
+
+            def worker(seed: int) -> None:
+                for i in range(12):
+                    cache.get(self.SIGS[(seed + i) % len(self.SIGS)])
+                    cache.stats()
+                    len(cache)
+
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                for f in [pool.submit(worker, s) for s in range(4)]:
+                    f.result()
+
+            stats = cache.stats()
+            assert stats.hits + stats.misses == 4 * 12
+            assert stats.evictions > 0  # capacity 2 over 3 signatures
+            # The acceptance bar: every runtime order edge is in the static
+            # model and every guarded touch held its lock.
+            assert w.cross_check(static_graph) == []
+            assert w.guard_violations == {}
+            assert w.guarded_accesses > 0
+            # The instrumentation edges really were exercised dynamically.
+            cache_node = "repro.runtime.cache.ExecutableCache._lock"
+            observed = set(w.order_edges)
+            assert (cache_node, "repro.obs.metrics.MetricsRegistry._lock") in observed
+            assert (cache_node, "repro.obs.metrics.Counter._lock") in observed
+        finally:
+            w.unwrap_all()
+
+
+def _race(writers: int, writer, export_once) -> None:
+    """Run ``writer(i)`` on N threads, calling ``export_once`` throughout.
+
+    Writers do a fixed amount of work (no stop flag to forget), the main
+    thread exports continuously while any writer is alive, plus once more
+    after the join so the final state is exported too.
+    """
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(writers)]
+    for t in threads:
+        t.start()
+    try:
+        while any(t.is_alive() for t in threads):
+            export_once()
+    finally:
+        for t in threads:
+            t.join()
+    export_once()
+
+
+class TestSnapshotExportRegressions:
+    """Threaded writers vs exporters for the reads this PR put under locks."""
+
+    def test_gauge_export_races_writer_threads(self):
+        g = Gauge("t.gauge")
+
+        def writer(i: int) -> None:
+            for k in range(400):
+                g.set(float(k), worker=i, epoch=k % 7)
+
+        # Pre-fix this raised "dictionary changed size during iteration".
+        _race(4, writer, lambda: (g.as_dict(), list(g._items())))
+
+    def test_registry_export_races_instrument_creation(self):
+        reg = MetricsRegistry()
+
+        def writer(i: int) -> None:
+            for k in range(400):
+                reg.counter(f"t.c{i}.{k % 17}").inc()
+                reg.gauge(f"t.g{i}.{k % 17}").set(k)
+
+        _race(4, writer, lambda: (reg.as_dict(), reg.top_counters(), reg.names()))
+
+    def test_tracer_export_races_span_recording(self):
+        tracer = Tracer()
+
+        def worker(_: int) -> None:
+            for _k in range(300):
+                with tracer.span("outer"):
+                    with tracer.span("inner"):
+                        pass
+
+        # Pre-fix these walked self.roots while workers appended to it.
+        _race(4, worker, lambda: (list(tracer.iter_spans()), aggregate(tracer)))
+
+    def test_witness_confirms_gauge_discipline(self):
+        w = LockWitness()
+        g = Gauge("t.gauge")
+        w.watch(g, {"_values": "_lock"})
+        try:
+            g.set(1.0, worker=1)
+            g.value(worker=1)
+            list(g._items())
+            g.as_dict()
+        finally:
+            w.unwrap_all()
+        assert w.guard_violations == {}
+        assert w.guarded_accesses > 0
+
+    def test_witness_confirms_registry_discipline(self):
+        w = LockWitness()
+        reg = MetricsRegistry()
+        w.watch(reg, {"_metrics": "_lock"})
+        try:
+            reg.counter("t.c").inc()
+            reg.gauge("t.g").set(1.0)
+            reg.as_dict()
+            reg.top_counters()
+            reg.names()
+            reg.get("t.c")
+        finally:
+            w.unwrap_all()
+        assert w.guard_violations == {}
+        assert w.guarded_accesses > 0
+
+    def test_witness_confirms_tracer_discipline(self):
+        w = LockWitness()
+        tracer = Tracer()
+        w.watch(tracer, {"roots": "_lock", "_stacks": "_lock"})
+        try:
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+            list(tracer.iter_spans())
+            aggregate(tracer)
+        finally:
+            w.unwrap_all()
+        assert w.guard_violations == {}
+        assert w.guarded_accesses > 0
