@@ -104,6 +104,17 @@ GUARDS: tuple[GuardSpec, ...] = (
         ("_filters",),
         note="weight-version-keyed filter-transform LRU",
     ),
+    GuardSpec(
+        "repro.runtime.tuningcache",
+        "ActiveTuning",
+        "_lock",
+        ("_table", "_generation", "_guards"),
+        note=(
+            "active tuning table + activation epoch + per-entry never-worse "
+            "guard state, swapped atomically by activate()/deactivate(); "
+            "lookups race tuned dispatches feeding the guard"
+        ),
+    ),
     # -- repro.serve ---------------------------------------------------------
     GuardSpec(
         "repro.serve.registry",

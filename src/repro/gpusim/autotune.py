@@ -50,6 +50,12 @@ class TunedChoice:
         return self.estimate.gflops
 
 
+#: (shape, device, calibration digest | None, activation epoch).  The digest
+#: — not the host name — identifies the pricing model: two calibration
+#: files for the *same* host with different coefficients (a re-fit loaded
+#: from disk mid-process, un-activated) must not share rankings, and the
+#: activation epoch alone cannot tell them apart because merely loading a
+#: file never bumps it.
 _CacheKey = tuple[ConvShape, str, str | None, int]
 _CACHE: dict[_CacheKey, TunedChoice] = {}
 
@@ -83,8 +89,10 @@ def autotune_conv(
 
     Every registered kernel whose filter width matches is priced (each with
     its own §5.5 boundary segmentation as the leading kernel); results are
-    cached.  The cache keys on the calibration epoch so activating or
-    swapping a machine calibration invalidates stale rankings.
+    cached.  The cache keys on the calibration *digest* and the activation
+    epoch, so both activating/swapping a calibration and loading a
+    different ``CALIB_<host>.json`` for the same host invalidate stale
+    rankings.
 
     Raises
     ------
@@ -97,7 +105,7 @@ def autotune_conv(
     key: _CacheKey = (
         shape,
         device.name,
-        machine.host if machine is not None else None,
+        machine.digest if machine is not None else None,
         calibrate.generation(),
     )
     if key in _CACHE:

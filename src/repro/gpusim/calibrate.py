@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import hashlib
 import json
 import platform
 import re
@@ -227,6 +228,22 @@ class CalibrationModel:
     def predict_ns(self, features: dict[str, float]) -> float:
         """Predicted wallclock ns for one feature vector."""
         return sum(self.coeffs.get(k, 0.0) * v for k, v in features.items())
+
+    @property
+    def digest(self) -> str:
+        """Content digest of the model's predictions: host + coefficients.
+
+        Two models with the same digest price every candidate identically,
+        so consumers that cache rankings (the gpusim autotuner's ``_CACHE``,
+        the tuning table's provenance field) key on this rather than on the
+        host name — loading a *different* calibration file for the same
+        host must invalidate, and it does because the coefficients differ.
+        """
+        body = json.dumps(
+            {"host": self.host, "coeffs": {k: float(self.coeffs.get(k, 0.0)) for k in sorted(self.coeffs)}},
+            sort_keys=True,
+        )
+        return hashlib.sha1(body.encode()).hexdigest()[:16]
 
     def predict_conv_ns(
         self,

@@ -22,7 +22,10 @@ checked per bucket:
 ``max_workspace_bytes``
     Budget on ``rows x per_row_workspace_bytes`` per dispatch (the
     registry measures per-row bytes from the warmed executables), capping
-    coalescing for large-activation models before memory does.
+    coalescing for large-activation models before memory does.  With a
+    cost model, ``max_workspace_byte_ns`` refines this into a *pressure*
+    budget (bytes × predicted residency ns): byte-heavy-but-cheap buckets
+    coalesce further, byte-heavy-and-slow buckets cap earlier.
 deadline pressure (``predicted_batch_ns``)
     When the owner supplies a predicted batch cost (the registry's
     machine-calibrated per-row model), a bucket holding deadlined requests
@@ -64,6 +67,15 @@ class BatchPolicy:
     max_batch_size: int = 8
     max_queue_delay_ms: float = 2.0
     max_workspace_bytes: int | None = None
+    #: Calibrated refinement of the raw-bytes budget: bound each dispatch's
+    #: workspace *pressure* — bytes held × predicted residency time,
+    #: ``rows · per_row_bytes · predicted_batch_ns(rows)`` (byte·ns) — so a
+    #: bucket whose rows are byte-heavy but *cheap* (short residency) may
+    #: coalesce past the raw-bytes cap, while byte-heavy *slow* buckets are
+    #: capped earlier.  Consulted only when the batcher also has both the
+    #: per-row bytes and the cost model; it then replaces the raw-bytes cap
+    #: (which remains the fallback).
+    max_workspace_byte_ns: float | None = None
     #: Executed batches are padded up to a multiple of this row count (and
     #: always to :data:`~repro.serve.registry.MIN_EXECUTE_ROWS`): the batch
     #: quantum is the serving analogue of the tile size — underfilled
@@ -80,6 +92,10 @@ class BatchPolicy:
         if self.max_workspace_bytes is not None and self.max_workspace_bytes < 1:
             raise ValueError(
                 f"max_workspace_bytes must be >= 1, got {self.max_workspace_bytes}"
+            )
+        if self.max_workspace_byte_ns is not None and self.max_workspace_byte_ns <= 0:
+            raise ValueError(
+                f"max_workspace_byte_ns must be > 0, got {self.max_workspace_byte_ns}"
             )
         if self.batch_quantum < 1:
             raise ValueError(f"batch_quantum must be >= 1, got {self.batch_quantum}")
@@ -194,13 +210,38 @@ class DynamicBatcher:
     # -- capacity ------------------------------------------------------------
 
     def max_rows_for(self, model: str) -> int:
-        """Row cap per batch: ``max_batch_size`` tightened by the budget."""
+        """Row cap per batch: ``max_batch_size`` tightened by the budget.
+
+        With a cost model and a ``max_workspace_byte_ns`` budget the cap is
+        pressure-derived — the largest row count whose
+        ``rows · per_row_bytes · predicted(rows)`` stays within budget —
+        replacing the raw-bytes cap: bytes a dispatch holds only briefly
+        are cheaper than the same bytes held across a slow batch, so a
+        cheap-but-large-bytes bucket no longer flushes early.  Without the
+        cost model (or the knob) the raw ``max_workspace_bytes`` cap
+        applies as before.
+        """
         cap = self.policy.max_batch_size
-        budget = self.policy.max_workspace_bytes
-        if budget is not None and self._per_row_bytes is not None:
+        per_row = 0
+        if self._per_row_bytes is not None:
             per_row = self._per_row_bytes(model)
-            if per_row > 0:
-                cap = min(cap, max(1, budget // per_row))
+        pressure_budget = self.policy.max_workspace_byte_ns
+        if (
+            pressure_budget is not None
+            and per_row > 0
+            and self._predicted_batch_ns is not None
+        ):
+            rows = 1
+            while (
+                rows < cap
+                and per_row * (rows + 1) * self.predicted_ns(model, rows + 1)
+                <= pressure_budget
+            ):
+                rows += 1
+            return rows
+        budget = self.policy.max_workspace_bytes
+        if budget is not None and per_row > 0:
+            cap = min(cap, max(1, budget // per_row))
         return cap
 
     def predicted_ns(self, model: str, rows: int) -> float:

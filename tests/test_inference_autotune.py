@@ -96,6 +96,45 @@ class TestAutotune:
         with pytest.raises(ValueError, match="stride"):
             autotune_conv(s, RTX3060TI)
 
+    def test_digest_identifies_the_pricing_not_the_host(self):
+        from repro.gpusim import calibrate
+
+        a = calibrate.CalibrationModel(host="h", coeffs=dict(calibrate.DEFAULT_COEFFS))
+        b = calibrate.CalibrationModel(host="h", coeffs=dict(calibrate.DEFAULT_COEFFS))
+        assert a.digest == b.digest  # content-addressed, not identity
+        refit = {**calibrate.DEFAULT_COEFFS, "contract_flop": 99.0}
+        assert calibrate.CalibrationModel(host="h", coeffs=refit).digest != a.digest
+        assert (
+            calibrate.CalibrationModel(host="other", coeffs=dict(calibrate.DEFAULT_COEFFS)).digest
+            != a.digest
+        )
+
+    def test_reloaded_refit_for_same_host_invalidates_cached_rankings(
+        self, tmp_path, monkeypatch
+    ):
+        # The staleness bug this guards against: _CACHE used to key on the
+        # activation epoch alone, but loading a different CALIB_<host>.json
+        # from the working directory never bumps it — a re-fit landing on
+        # disk mid-process kept serving rankings priced by the old model.
+        from repro.gpusim import calibrate
+
+        monkeypatch.chdir(tmp_path)
+        host = calibrate.host_key()
+        shape = ConvShape.from_ofm(32, 24, 24, 64, r=3)
+        calibrate.CalibrationModel(
+            host=host, coeffs=dict(calibrate.DEFAULT_COEFFS), fitted=True
+        ).save(calibrate.calibration_path())
+        first = autotune_conv(shape, RTX3060TI, use_calibration=True)
+        assert autotune_conv(shape, RTX3060TI, use_calibration=True) is first
+
+        refit = {k: v * 3.0 for k, v in calibrate.DEFAULT_COEFFS.items()}
+        calibrate.CalibrationModel(host=host, coeffs=refit, fitted=True).save(
+            calibrate.calibration_path()
+        )
+        second = autotune_conv(shape, RTX3060TI, use_calibration=True)
+        assert second is not first  # digest changed; stale ranking not served
+        assert second.ranking[0][1] == pytest.approx(3.0 * first.ranking[0][1])
+
     def test_never_slower_than_static_planner(self):
         """Search can only improve on the written selection rules."""
         from repro.core import plan_convolution

@@ -110,6 +110,77 @@ class TestDeadlinePressure:
         assert batch.predicted_ns == pytest.approx(3e6)
 
 
+class TestWorkspacePressure:
+    """The byte·ns refinement of the raw-bytes workspace cap."""
+
+    MB = 1 << 20
+
+    def _batcher(self, policy: BatchPolicy, cost_ns: float) -> DynamicBatcher:
+        return DynamicBatcher(
+            policy,
+            per_row_bytes=lambda model: self.MB,
+            predicted_batch_ns=lambda model, rows: cost_ns,
+        )
+
+    def test_cheap_bucket_coalesces_past_the_raw_bytes_cap(self):
+        # 1 MB/row against a 2 MB raw cap would stop at 2 rows; the rows
+        # are cheap (1 ms residency), so the pressure budget lets the
+        # bucket fill the full wave instead.
+        policy = BatchPolicy(
+            max_batch_size=8,
+            max_workspace_bytes=2 * self.MB,
+            max_workspace_byte_ns=1e13,
+        )
+        assert self._batcher(policy, cost_ns=1e6).max_rows_for("m") == 8
+
+    def test_slow_bucket_caps_earlier_than_the_raw_cap_would(self):
+        # Same bytes, 100x the residency: the pressure budget now binds
+        # below even the raw-bytes cap.
+        policy = BatchPolicy(
+            max_batch_size=8,
+            max_workspace_bytes=4 * self.MB,
+            max_workspace_byte_ns=1e13,
+        )
+        assert self._batcher(policy, cost_ns=1e8).max_rows_for("m") == 1
+
+    def test_cheap_but_large_bytes_bucket_no_longer_flushes_early(self):
+        # The regression this knob exists for: under the raw-bytes cap a
+        # cheap 1 MB/row bucket flushed at 2 rows; with the pressure
+        # budget the same traffic coalesces until the wave is full.
+        raw = BatchPolicy(max_batch_size=8, max_queue_delay_ms=10_000.0,
+                          max_workspace_bytes=2 * self.MB)
+        pressured = BatchPolicy(max_batch_size=8, max_queue_delay_ms=10_000.0,
+                                max_workspace_bytes=2 * self.MB,
+                                max_workspace_byte_ns=1e13)
+        old = self._batcher(raw, cost_ns=1e6)
+        new = self._batcher(pressured, cost_ns=1e6)
+        for i in range(2):
+            old.add(_req(now=100.0, deadline=None))
+            new.add(_req(now=100.0, deadline=None))
+        assert len(old.take_ready(now=100.0)) == 1  # raw cap: early flush
+        assert new.take_ready(now=100.0) == []  # pressure: keep filling
+        for i in range(6):
+            new.add(_req(now=100.0, deadline=None))
+        (batch,) = new.take_ready(now=100.0)
+        assert batch.rows == 8
+        assert batch.trigger == "size"
+
+    def test_knob_without_cost_model_falls_back_to_raw_bytes(self):
+        policy = BatchPolicy(
+            max_batch_size=8,
+            max_workspace_bytes=3 * self.MB,
+            max_workspace_byte_ns=1e13,
+        )
+        batcher = DynamicBatcher(policy, per_row_bytes=lambda model: self.MB)
+        assert batcher.max_rows_for("m") == 3
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError, match="max_workspace_byte_ns"):
+            BatchPolicy(max_workspace_byte_ns=0.0)
+        with pytest.raises(ValueError, match="max_workspace_byte_ns"):
+            BatchPolicy(max_workspace_byte_ns=-1.0)
+
+
 def _service(**config_kw) -> InferenceService:
     service = InferenceService(config=SchedulerConfig(**config_kw))
     service.registry.register("net", arch=ARCH, width_mult=WIDTH, image=IMAGE)
