@@ -1,0 +1,64 @@
+"""repro.serve.cluster — multi-worker sharded serving.
+
+The process fan-out tier over :mod:`repro.serve`: N spawned worker
+processes, each a complete warmed single-process serving stack (its own
+:class:`~repro.serve.registry.ModelRegistry` + dynamic batcher), behind a
+:class:`ClusterRouter` that
+
+* **shards by model** via consistent hashing (:class:`HashRing`, virtual
+  nodes, ~1/N remap per membership change),
+* **load-balances** within a shard by least outstanding requests,
+* **hands tensors off through shared memory** (:class:`SlabRing`) — the
+  control pipe carries only signature metadata, never activation bytes
+  (the Indirect-Convolution discipline applied to serving), with
+  generation-named segments + monotonic lease tags making stale reads
+  structurally impossible,
+* **survives crashes**: heartbeat health checks, pipe-EOF crash
+  detection, restart with re-warm under the same ring name.
+
+Sixty-second tour::
+
+    import asyncio
+    import numpy as np
+    from repro.serve.cluster import ClusterConfig, ClusterRouter, ModelSpec
+
+    async def main():
+        router = ClusterRouter(
+            [ModelSpec(name="resnet18", arch="resnet18", width_mult=0.25)],
+            ClusterConfig(workers=2),
+        )
+        async with router:  # spawn + warm + ready barrier
+            y = await router.infer(
+                "resnet18", np.zeros((32, 32, 3), np.float32)
+            )
+            print(y.shape, (await router.stats())["router"])
+
+    asyncio.run(main())
+
+Responses are bit-identical to single-process serving (the shared
+:data:`~repro.serve.registry.MIN_EXECUTE_ROWS` padding floor makes every
+row's arithmetic batch-composition-independent, and each worker runs the
+same warmed runtime) — asserted end-to-end in ``tests/test_cluster_serving.py``.
+"""
+
+from .hashring import HashRing
+from .membership import Membership, WorkerState
+from .messages import ControlChannel, ControlStats
+from .router import ClusterConfig, ClusterRouter
+from .shm import SlabLease, SlabRing
+from .worker import ModelSpec, WorkerSpec, worker_main
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterRouter",
+    "ControlChannel",
+    "ControlStats",
+    "HashRing",
+    "Membership",
+    "ModelSpec",
+    "SlabLease",
+    "SlabRing",
+    "WorkerSpec",
+    "WorkerState",
+    "worker_main",
+]

@@ -1,0 +1,120 @@
+"""Consistent hashing with virtual nodes: deterministic model -> shard placement.
+
+The router shards requests **by model name**: every request for one model
+lands on the same small set of workers (its *shard*), so each worker's
+:class:`~repro.runtime.cache.ExecutableCache` and filter-transform caches
+stay hot for the models it actually serves — the process-level analogue of
+the paper's tile-to-SM mapping, where work units are bound to compute
+units deterministically instead of scattered.
+
+Plain modulo hashing would remap almost every model when the worker count
+changes (one restart = every cache cold).  A consistent-hash ring with
+virtual nodes remaps only ~``1/N`` of the key space per membership change:
+
+* each worker contributes ``vnodes`` points on a 64-bit ring, positioned
+  by ``sha1(f"{node}#{i}")`` — deterministic across processes and runs (no
+  Python hash randomisation);
+* a key routes to the first point clockwise from ``sha1(key)``;
+* :meth:`HashRing.shard` walks clockwise collecting ``count`` *distinct*
+  workers — the replica set the router load-balances within.
+
+The ring itself is pure data (no locks, no I/O): the router mutates it
+only from its event loop, and tests drive it directly to assert the
+remap-fraction bound.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["HashRing"]
+
+
+def _point(key: str) -> int:
+    """Deterministic 64-bit ring position of ``key``."""
+    return int.from_bytes(hashlib.sha1(key.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over named nodes with virtual points."""
+
+    def __init__(self, nodes: tuple[str, ...] | list[str] = (), *, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._nodes: set[str] = set()
+        #: Sorted (position, node) points and the parallel position list
+        #: ``bisect`` searches.  Rebuilt on membership change — membership
+        #: changes are rare, lookups are per-request.
+        self._ring: list[tuple[int, str]] = []
+        self._points: list[int] = []
+        for node in nodes:
+            self.add(node)
+
+    # -- membership ----------------------------------------------------------
+
+    def add(self, node: str) -> None:
+        """Add ``node``; idempotent."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        self._rebuild()
+
+    def remove(self, node: str) -> None:
+        """Remove ``node``; idempotent."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        self._ring = sorted(
+            (_point(f"{node}#{i}"), node)
+            for node in self._nodes
+            for i in range(self.vnodes)
+        )
+        self._points = [p for p, _ in self._ring]
+
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    # -- lookup --------------------------------------------------------------
+
+    def node_for(self, key: str) -> str:
+        """The node owning ``key`` (first ring point clockwise)."""
+        if not self._ring:
+            raise LookupError("hash ring is empty")
+        idx = bisect.bisect_right(self._points, _point(key)) % len(self._ring)
+        return self._ring[idx][1]
+
+    def shard(self, key: str, count: int) -> list[str]:
+        """The first ``count`` *distinct* nodes clockwise from ``key``.
+
+        The replica set for ``key``: the owner first, then the next
+        distinct nodes around the ring.  ``count`` larger than the
+        membership returns every node (owner-first order).
+        """
+        if not self._ring:
+            raise LookupError("hash ring is empty")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        start = bisect.bisect_right(self._points, _point(key)) % len(self._ring)
+        out: list[str] = []
+        for offset in range(len(self._ring)):
+            node = self._ring[(start + offset) % len(self._ring)][1]
+            if node not in out:
+                out.append(node)
+                if len(out) == count:
+                    break
+        return out
+
+    def assignments(self, keys: list[str]) -> dict[str, str]:
+        """``{key: owner}`` for a key population (remap-stability tests)."""
+        return {key: self.node_for(key) for key in keys}

@@ -1,0 +1,148 @@
+"""Cluster membership: the worker table health checks and routing consult.
+
+One :class:`Membership` per router: worker name -> :class:`WorkerState`
+(lifecycle state, generation, heartbeat timestamps, restart count).  The
+table is the single source of truth for "which workers may receive
+requests right now" — the ring (:mod:`.hashring`) answers *where a model
+belongs*, membership filters that shard down to workers that are actually
+``ready``.
+
+States move ``starting -> ready -> (draining | dead)``; a restart takes a
+``dead`` worker back through ``starting`` with its generation bumped (the
+slab-segment name changes with it, see :mod:`.shm`).  Worker *names* are
+stable across restarts, so the ring never changes on a crash — placement
+is deterministic and only true membership changes (scaling the worker
+count) remap keys.
+
+The table is lock-guarded and registered in the PR-8 guarded-by
+inventory: the router's event loop mutates it while the heartbeat loop,
+stats probes and witness-test threads read concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["WorkerState", "Membership"]
+
+#: Lifecycle states a worker moves through.
+STATES = ("starting", "ready", "draining", "dead")
+
+
+@dataclass
+class WorkerState:
+    """One worker's membership record (mutated only under the table lock)."""
+
+    name: str
+    generation: int = 1
+    state: str = "starting"
+    pid: int | None = None
+    started_at_s: float = field(default_factory=time.monotonic)
+    last_heartbeat_s: float = field(default_factory=time.monotonic)
+    restarts: int = 0
+    warmup_ms: float = 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "generation": self.generation,
+            "state": self.state,
+            "pid": self.pid,
+            "restarts": self.restarts,
+            "warmup_ms": self.warmup_ms,
+            "heartbeat_age_s": time.monotonic() - self.last_heartbeat_s,
+        }
+
+
+class Membership:
+    """Thread-safe worker table with heartbeat bookkeeping."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._workers: dict[str, WorkerState] = {}
+
+    # -- lifecycle transitions ----------------------------------------------
+
+    def register(self, name: str) -> WorkerState:
+        """Add (or reset to a fresh incarnation of) worker ``name``."""
+        now = time.monotonic()
+        with self._lock:
+            state = self._workers.get(name)
+            if state is None:
+                state = WorkerState(name=name)
+                self._workers[name] = state
+            else:
+                state.generation += 1
+                state.restarts += 1
+                state.state = "starting"
+                state.started_at_s = now
+            state.last_heartbeat_s = now
+            state.pid = None
+            return state
+
+    def mark_ready(self, name: str, *, pid: int, warmup_ms: float = 0.0) -> None:
+        with self._lock:
+            state = self._workers[name]
+            state.state = "ready"
+            state.pid = pid
+            state.warmup_ms = warmup_ms
+            state.last_heartbeat_s = time.monotonic()
+
+    def mark_draining(self, name: str) -> None:
+        with self._lock:
+            self._workers[name].state = "draining"
+
+    def mark_dead(self, name: str) -> bool:
+        """Transition to ``dead``; returns False if it already was."""
+        with self._lock:
+            state = self._workers[name]
+            was_dead = state.state == "dead"
+            state.state = "dead"
+            return not was_dead
+
+    def heartbeat(self, name: str) -> None:
+        """Record a pong from ``name`` (unknown names are ignored)."""
+        with self._lock:
+            state = self._workers.get(name)
+            if state is not None:
+                state.last_heartbeat_s = time.monotonic()
+
+    # -- queries -------------------------------------------------------------
+
+    def state_of(self, name: str) -> str:
+        with self._lock:
+            return self._workers[name].state
+
+    def generation_of(self, name: str) -> int:
+        with self._lock:
+            return self._workers[name].generation
+
+    def ready_names(self) -> list[str]:
+        with self._lock:
+            return sorted(
+                name for name, s in self._workers.items() if s.state == "ready"
+            )
+
+    def stale(self, deadline_s: float) -> list[str]:
+        """Ready workers whose last heartbeat is older than ``deadline_s``."""
+        horizon = time.monotonic() - deadline_s
+        with self._lock:
+            return sorted(
+                name
+                for name, s in self._workers.items()
+                if s.state == "ready" and s.last_heartbeat_s < horizon
+            )
+
+    def snapshot(self) -> list[dict[str, object]]:
+        with self._lock:
+            return [self._workers[name].as_dict() for name in sorted(self._workers)]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._workers)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._workers

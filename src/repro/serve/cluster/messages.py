@@ -1,0 +1,104 @@
+"""Control-plane codec: JSON-only frames over a multiprocessing pipe.
+
+The cluster's hot-path discipline (the Indirect-Convolution lesson from
+PAPERS.md applied to serving): **activation bytes never cross the control
+pipe**.  Tensors travel through the shared-memory slab ring
+(:mod:`repro.serve.cluster.shm`); the pipe carries only signature
+metadata — model name, slot index, lease tag, shape, dtype — a couple
+hundred bytes per request regardless of tensor size, the way im2col-
+Winograd's fused gather carries indices instead of re-materialised
+patches.
+
+:class:`ControlChannel` enforces that structurally: frames are encoded
+with strict :func:`json.dumps`, which *refuses* ``ndarray`` (or any other
+binary payload) with a ``TypeError`` — a pickle codec would happily
+serialise the tensor and silently re-introduce the copy the slab ring
+exists to avoid.  Every frame's size is accounted
+(:class:`ControlStats`), so the ``cluster-smoke`` bench can assert the
+pickle-free property as a number: the largest control frame ever sent
+must be smaller than a single activation row.
+
+Thread contract: one sender thread and one receiver thread per channel
+end.  The router sends from its event loop and receives from a dedicated
+reader hop; the worker does the reverse.  Each stats field is written by
+exactly one of those threads, so the counters need no lock.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from multiprocessing.connection import Connection
+from typing import Any
+
+__all__ = ["ControlStats", "ControlChannel"]
+
+
+@dataclass
+class ControlStats:
+    """Byte/frame accounting of one channel end (see module thread contract)."""
+
+    frames_sent: int = 0
+    frames_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    #: Largest single frame seen in either direction — the number the
+    #: pickle-free bench metric compares against one activation row.
+    max_frame_bytes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "frames_sent": self.frames_sent,
+            "frames_received": self.frames_received,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "max_frame_bytes": self.max_frame_bytes,
+        }
+
+
+class ControlChannel:
+    """JSON-frames-only wrapper over one end of a duplex pipe."""
+
+    def __init__(self, conn: Connection) -> None:
+        self._conn = conn
+        self.stats = ControlStats()
+
+    def send(self, msg: dict[str, Any], *, lenient: bool = False) -> int:
+        """Encode and send one frame; returns its size in bytes.
+
+        Strict by default: any non-JSON value (an ``ndarray`` above all)
+        raises ``TypeError`` instead of being serialised — the structural
+        pickle-free guarantee.  ``lenient=True`` stringifies unknown
+        types and is reserved for the *stats/scrape* replies, which carry
+        introspection blobs, never tensors and never request traffic.
+        """
+        data = json.dumps(
+            msg, separators=(",", ":"), default=str if lenient else None
+        ).encode()
+        self._conn.send_bytes(data)
+        st = self.stats
+        st.frames_sent += 1
+        st.bytes_sent += len(data)
+        st.max_frame_bytes = max(st.max_frame_bytes, len(data))
+        return len(data)
+
+    def recv(self) -> dict[str, Any]:
+        """Block for one frame and decode it (raises ``EOFError`` on hangup)."""
+        data = self._conn.recv_bytes()
+        st = self.stats
+        st.frames_received += 1
+        st.bytes_received += len(data)
+        st.max_frame_bytes = max(st.max_frame_bytes, len(data))
+        msg = json.loads(data)
+        if not isinstance(msg, dict):
+            raise ValueError(f"control frame must be a JSON object, got {type(msg)}")
+        return msg
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        return self._conn.poll(timeout)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def fileno(self) -> int:
+        return self._conn.fileno()

@@ -1,0 +1,195 @@
+"""Shared-memory slab ring: the cluster's zero-serialisation tensor lane.
+
+One :class:`SlabRing` per worker *incarnation*: a single
+``multiprocessing.shared_memory`` segment divided into fixed-size slots.
+The router leases a slot, copies the request tensor in, and sends only
+``(slot, tag, shape, dtype)`` over the control pipe; the worker reads the
+rows out, runs the batch, writes the response back into the **same slot**
+and echoes the lease tag.  Two mechanisms make stale reads structurally
+impossible rather than merely unlikely:
+
+* **generation-named segments** — the segment name embeds the worker's
+  incarnation (``...-g<generation>``, assigned by the router).  A
+  restarted worker attaches to a *fresh* segment; whatever a crashed
+  predecessor might still write lands in a segment nobody routes to, and
+  is unlinked by the router.  There is no name under which an old
+  incarnation and a new one can meet.
+* **monotonic lease tags** — every acquire stamps the slot with a fresh
+  tag, echoed back in the worker's response.  A response whose tag does
+  not match the slot's *current* lease (a reply outrunning its timeout,
+  say, after the slot was re-leased) is discarded at validation instead
+  of being read as another request's answer.
+
+The free-list and tag table are lock-guarded (registered in the PR-8
+guarded-by inventory): the router's event loop leases while test drivers
+and witness threads probe concurrently.  The slab *data* copies
+deliberately happen outside the lock — ``read``/``write`` touch only the
+mapped buffer, so a lease held during a long copy never blocks other
+slots' turnover.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+__all__ = ["SlabLease", "SlabRing"]
+
+
+@dataclass(frozen=True)
+class SlabLease:
+    """One leased slot: index plus the tag responses must echo."""
+
+    slot: int
+    tag: int
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker ownership.
+
+    The attaching side must not register the segment with its resource
+    tracker: the router owns the unlink, and a tracker that believes it
+    owns the mapping unlinks it again at interpreter exit (KeyError noise
+    on 3.12, double-unlink races earlier).  Python 3.13 grew ``track=``;
+    on older interpreters the registration is reversed by hand.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:
+            pass
+        return shm
+
+
+class SlabRing:
+    """Fixed-slot shared-memory ring with monotonic lease tags."""
+
+    def __init__(
+        self, name: str, slot_bytes: int, slots: int, *, create: bool
+    ) -> None:
+        if slot_bytes < 1 or slots < 1:
+            raise ValueError(
+                f"slot_bytes and slots must be >= 1, got {slot_bytes}, {slots}"
+            )
+        self.name = name
+        self.slot_bytes = slot_bytes
+        self.slots = slots
+        self.owner = create
+        if create:
+            self._shm = shared_memory.SharedMemory(
+                name=name, create=True, size=slot_bytes * slots
+            )
+        else:
+            self._shm = _attach_untracked(name)
+        self._lock = threading.Lock()
+        self._free: list[int] = list(range(slots))
+        self._tags: list[int] = [0] * slots
+        self._next_tag = 1
+        self._closed = False
+
+    @classmethod
+    def create(cls, name: str, slot_bytes: int, slots: int) -> "SlabRing":
+        return cls(name, slot_bytes, slots, create=True)
+
+    @classmethod
+    def attach(cls, name: str, slot_bytes: int, slots: int) -> "SlabRing":
+        return cls(name, slot_bytes, slots, create=False)
+
+    # -- lease protocol ------------------------------------------------------
+
+    def acquire(self) -> SlabLease | None:
+        """Lease one free slot with a fresh tag; ``None`` when exhausted."""
+        with self._lock:
+            if self._closed or not self._free:
+                return None
+            slot = self._free.pop()
+            tag = self._next_tag
+            self._next_tag += 1
+            self._tags[slot] = tag
+        return SlabLease(slot=slot, tag=tag)
+
+    def release(self, lease: SlabLease) -> None:
+        """Return a leased slot to the free list (stale releases are no-ops)."""
+        with self._lock:
+            if self._closed or self._tags[lease.slot] != lease.tag:
+                return
+            self._tags[lease.slot] = 0
+            self._free.append(lease.slot)
+
+    def lease_valid(self, slot: int, tag: int) -> bool:
+        """Whether ``tag`` is the slot's *current* lease (response gate)."""
+        if not 0 <= slot < self.slots:
+            return False
+        with self._lock:
+            return not self._closed and self._tags[slot] == tag
+
+    def free_slots(self) -> int:
+        with self._lock:
+            return len(self._free)
+
+    # -- tensor copies (outside the lock by design) --------------------------
+
+    def write(self, slot: int, arr: np.ndarray) -> dict[str, object]:
+        """Copy ``arr`` into ``slot``; returns the wire metadata."""
+        arr = np.ascontiguousarray(arr)
+        self._check(slot, arr.nbytes)
+        dst: np.ndarray = np.ndarray(
+            arr.shape, dtype=arr.dtype, buffer=self._shm.buf,
+            offset=slot * self.slot_bytes,
+        )
+        np.copyto(dst, arr)
+        return {"shape": list(arr.shape), "dtype": str(arr.dtype)}
+
+    def read(self, slot: int, shape: list[int] | tuple[int, ...], dtype: str) -> np.ndarray:
+        """Copy a tensor described by wire metadata out of ``slot``."""
+        dt = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
+        self._check(slot, nbytes)
+        src: np.ndarray = np.ndarray(
+            tuple(int(d) for d in shape), dtype=dt, buffer=self._shm.buf,
+            offset=slot * self.slot_bytes,
+        )
+        return src.copy()
+
+    def _check(self, slot: int, nbytes: int) -> None:
+        if not 0 <= slot < self.slots:
+            raise ValueError(f"slot {slot} out of range [0, {self.slots})")
+        if nbytes > self.slot_bytes:
+            raise ValueError(
+                f"tensor of {nbytes} bytes exceeds slot capacity {self.slot_bytes}"
+            )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Unmap the segment (idempotent); leases become invalid."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._free.clear()
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Remove the segment from the system (owner side, after close)."""
+        # Spawned workers share the parent's resource-tracker daemon (the
+        # tracker fd rides in the spawn preparation data), so the attach
+        # side's compensating unregister (see ``_attach_untracked``) also
+        # removed *our* entry from the shared cache.  Re-register first so
+        # the unregister inside ``SharedMemory.unlink`` always balances —
+        # registration is a set-add, so this is a no-op where the entry
+        # survived (3.13+ ``track=False`` attach).
+        try:
+            resource_tracker.register(self._shm._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass

@@ -178,6 +178,9 @@ class Scheduler:
         self._inflight: set[asyncio.Task] = set()
         self._pool: ThreadPoolExecutor | None = None
         self._running = False
+        #: Set (not None) once a stop owns the teardown; concurrent stops
+        #: await it instead of returning early — see :meth:`stop`.
+        self._stopping: asyncio.Event | None = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -185,6 +188,7 @@ class Scheduler:
         if self._running:
             return self
         self._running = True
+        self._stopping = None
         self._wake = asyncio.Event()
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.execute_threads, thread_name_prefix="repro-serve"
@@ -195,35 +199,53 @@ class Scheduler:
     async def stop(self, *, drain: bool = True) -> None:
         """Stop the flush loop; drain (default) or fail queued requests.
 
+        **Single-flight idempotent**: the first stop owns the teardown;
+        any stop arriving while it is still flushing (the cluster router's
+        drain racing an outer teardown layer, a test's ``finally`` racing
+        a crash path) *awaits that same teardown* instead of returning
+        early — returning early would let its caller proceed to tear down
+        the pool and runtime config out from under the in-flight drain
+        batches the first stop is still completing.  The first caller's
+        ``drain`` choice wins.
+
         Also releases the execution worker pool and the runtime's pooled
         dispatch config — both shutdowns are idempotent, so outer teardown
         layers calling :meth:`stop` again are safe.
         """
+        if self._stopping is not None:
+            await self._stopping.wait()
+            return
         if not self._running:
             return
-        self._running = False
-        assert self._wake is not None
-        self._wake.set()
-        if self._loop_task is not None:
-            await self._loop_task
-            self._loop_task = None
-        if drain:
-            for batch in self._batcher.drain():
-                await self._run_batch(batch)
-        else:
-            for batch in self._batcher.drain():
-                for req in batch.requests:
-                    self._fail(req, ServiceStopped("scheduler stopped"))
-        if self._inflight:
-            await asyncio.gather(*self._inflight, return_exceptions=True)
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-        # Runtime teardown tie-in: safe even if dispatch is mid-flight
-        # elsewhere, and safe to repeat (see ExecutionConfig.shutdown).
-        (self._exec_config or default_config()).shutdown()
-        self._gauge_depth()
-        self._publish_slo()
+        self._stopping = asyncio.Event()
+        try:
+            self._running = False
+            assert self._wake is not None
+            self._wake.set()
+            if self._loop_task is not None:
+                await self._loop_task
+                self._loop_task = None
+            if drain:
+                for batch in self._batcher.drain():
+                    await self._run_batch(batch)
+            else:
+                for batch in self._batcher.drain():
+                    for req in batch.requests:
+                        self._fail(req, ServiceStopped("scheduler stopped"))
+            if self._inflight:
+                await asyncio.gather(*self._inflight, return_exceptions=True)
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+            # Runtime teardown tie-in: safe even if dispatch is mid-flight
+            # elsewhere, and safe to repeat (see ExecutionConfig.shutdown).
+            (self._exec_config or default_config()).shutdown()
+            self._gauge_depth()
+            self._publish_slo()
+        finally:
+            # Released even on cancellation: a waiter must never hang on a
+            # teardown that is no longer running.
+            self._stopping.set()
 
     # -- submission ----------------------------------------------------------
 

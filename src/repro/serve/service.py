@@ -7,7 +7,8 @@ to a :class:`~repro.serve.scheduler.Scheduler` and exposes:
   generator and tests drive; zero serialisation overhead);
 * ``service.stats()`` — scheduler counters + per-model registry state;
 * ``await service.serve_http(host, port)`` — a dependency-free HTTP/1.1
-  endpoint over ``asyncio.start_server``:
+  endpoint (the shared :class:`~repro.serve.httpfront.JsonHttpServer`,
+  which the cluster router's front end also uses):
 
   ====================  =====================================================
   ``GET /healthz``      liveness: ``{"status": "ok"}``; with an SLO
@@ -28,26 +29,30 @@ Error mapping is the typed error surface's ``http_status``: unknown model
 The wire format is JSON nested lists — simple, inspectable, curl-able; a
 binary format would only move the needle once the conv itself stops
 dominating.
+
+Shutdown is **single-flight idempotent**: however many callers race into
+:meth:`stop` (outer teardown layers, the cluster router's drain, a test's
+``finally``), exactly one teardown runs and every caller awaits that same
+teardown — so a drain arriving during an in-flight flush can never tear
+resources out from under the batches the first stop is still flushing.
 """
 
 from __future__ import annotations
 
 import asyncio
-import json
 import time
 
 import numpy as np
 
-from ..obs import PROMETHEUS_CONTENT_TYPE, render_prometheus, telemetry
+from ..obs import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from ..obs.perfledger import get_ledger
 from ..obs.telemetry import TraceContext
-from .errors import BadRequest, ServeError
+from .errors import ServeError
+from .httpfront import JsonHttpServer, handle_infer_request
 from .registry import ModelRegistry
 from .scheduler import Scheduler, SchedulerConfig
 
 __all__ = ["InferenceService"]
-
-_MAX_BODY_BYTES = 64 * 1024 * 1024
 
 
 class InferenceService:
@@ -60,27 +65,31 @@ class InferenceService:
     ) -> None:
         self.registry = registry if registry is not None else ModelRegistry()
         self.scheduler = Scheduler(self.registry, config)
-        self._server: asyncio.AbstractServer | None = None
-        self._conns: set[asyncio.Task[None]] = set()
+        self._http = JsonHttpServer(self._dispatch)
+        self._stop_task: asyncio.Task[None] | None = None
         self._started_at = time.monotonic()
 
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> "InferenceService":
         await self.scheduler.start()
+        self._stop_task = None
         return self
 
     async def stop(self, *, drain: bool = True) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
-        # start_server only stops accepting; close keep-alive connections too.
-        for task in list(self._conns):
-            task.cancel()
-        if self._conns:
-            await asyncio.gather(*self._conns, return_exceptions=True)
-            self._conns.clear()
+        """Stop the HTTP face and the scheduler, exactly once.
+
+        Concurrent and repeated stops share one teardown task: the first
+        caller starts it, everyone awaits it (shielded, so one impatient
+        caller's cancellation cannot abort the teardown mid-flush for the
+        others).  The first caller's ``drain`` choice wins.
+        """
+        if self._stop_task is None:
+            self._stop_task = asyncio.ensure_future(self._stop_impl(drain=drain))
+        await asyncio.shield(self._stop_task)
+
+    async def _stop_impl(self, *, drain: bool) -> None:
+        await self._http.stop()
         await self.scheduler.stop(drain=drain)
 
     async def __aenter__(self) -> "InferenceService":
@@ -123,75 +132,7 @@ class InferenceService:
 
     async def serve_http(self, host: str = "127.0.0.1", port: int = 8707) -> tuple[str, int]:
         """Start the HTTP endpoint; returns the bound ``(host, port)``."""
-        self._server = await asyncio.start_server(self._handle_conn, host, port)
-        sock = self._server.sockets[0]
-        bound = sock.getsockname()
-        return bound[0], bound[1]
-
-    async def _handle_conn(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        task = asyncio.current_task()
-        if task is not None:
-            self._conns.add(task)
-            task.add_done_callback(self._conns.discard)
-        try:
-            while True:
-                request = await self._read_request(reader)
-                if request is None:
-                    break
-                method, path, headers, body = request
-                status, payload, extra = await self._dispatch(method, path, headers, body)
-                if isinstance(payload, str):
-                    data = payload.encode()
-                    ctype = extra.pop("content-type", "text/plain; charset=utf-8")
-                else:
-                    data = (json.dumps(payload) + "\n").encode()
-                    ctype = "application/json"
-                head = [
-                    f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
-                    f"Content-Type: {ctype}",
-                    f"Content-Length: {len(data)}",
-                    "Connection: keep-alive",
-                ]
-                head.extend(f"{k}: {v}" for k, v in extra.items())
-                writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + data)
-                await writer.drain()
-        except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
-            pass
-        except asyncio.CancelledError:
-            pass  # service stop closes lingering keep-alive connections
-        finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, asyncio.CancelledError):
-                pass
-
-    @staticmethod
-    async def _read_request(
-        reader: asyncio.StreamReader,
-    ) -> tuple[str, str, dict[str, str], bytes] | None:
-        line = await reader.readline()
-        if not line:
-            return None
-        try:
-            method, path, _ = line.decode("latin-1").split(" ", 2)
-        except ValueError:
-            return None
-        headers: dict[str, str] = {}
-        while True:
-            header = await reader.readline()
-            if header in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = header.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        try:
-            length = min(int(headers.get("content-length", "0")), _MAX_BODY_BYTES)
-        except ValueError:
-            length = 0
-        body = await reader.readexactly(length) if length else b""
-        return method.upper(), path, headers, body
+        return await self._http.start(host, port)
 
     async def _dispatch(
         self, method: str, path: str, headers: dict[str, str], body: bytes
@@ -212,7 +153,7 @@ class InferenceService:
             if method == "GET" and path == "/v1/stats":
                 return 200, self.stats(), {}
             if method == "POST" and path == "/v1/infer":
-                return await self._handle_infer(headers, body)
+                return await handle_infer_request(self.infer, headers, body)
             return 404, {"error": f"no route {method} {path}"}, {}
         except ServeError as exc:
             return exc.http_status, {"error": str(exc), "kind": type(exc).__name__}, {}
@@ -228,58 +169,3 @@ class InferenceService:
         if slo.fast_burn:
             return 503, {"status": "degraded", "slo": slo.as_dict()}, {}
         return 200, {"status": "ok", "slo": slo.as_dict()}, {}
-
-    async def _handle_infer(
-        self, headers: dict[str, str], body: bytes
-    ) -> tuple[int, dict[str, object] | str, dict[str, str]]:
-        # Continue the client's W3C trace (or start one) before any parsing
-        # can fail, so even error responses carry the traceparent back.
-        trace: TraceContext | None = None
-        extra: dict[str, str] = {}
-        if telemetry.enabled():
-            trace = telemetry.start_trace(headers.get("traceparent"))
-            extra["traceparent"] = trace.traceparent()
-        try:
-            try:
-                payload = json.loads(body.decode())
-            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-                raise BadRequest(f"request body is not valid JSON: {exc}") from exc
-            if (
-                not isinstance(payload, dict)
-                or "model" not in payload
-                or "inputs" not in payload
-            ):
-                raise BadRequest('POST /v1/infer expects {"model": ..., "inputs": ...}')
-            try:
-                x = np.asarray(payload["inputs"], dtype=np.float32)
-            except (TypeError, ValueError) as exc:
-                raise BadRequest(f"inputs are not a numeric array: {exc}") from exc
-            timeout_ms = payload.get("timeout_ms", "default")
-            t0 = time.perf_counter()
-            out = await self.infer(
-                str(payload["model"]), x, timeout_ms=timeout_ms, trace=trace
-            )
-        except ServeError as exc:
-            err: dict[str, object] = {"error": str(exc), "kind": type(exc).__name__}
-            if trace is not None:
-                err["trace_id"] = trace.trace_id
-            return exc.http_status, err, extra
-        response: dict[str, object] = {
-            "model": payload["model"],
-            "outputs": out.tolist(),
-            "latency_ms": (time.perf_counter() - t0) * 1e3,
-        }
-        if trace is not None:
-            response["trace_id"] = trace.trace_id
-        return 200, response, extra
-
-
-_REASONS = {
-    200: "OK",
-    400: "Bad Request",
-    404: "Not Found",
-    429: "Too Many Requests",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-    504: "Gateway Timeout",
-}

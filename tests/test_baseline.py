@@ -129,8 +129,8 @@ class TestSuites:
     def test_registry_names(self):
         assert set(SUITES) == {
             "smoke", "fig8", "fig9", "table2",
-            "wallclock", "wallclock-smoke", "serve-smoke", "telemetry-smoke",
-            "calib-smoke", "tune-smoke", "full",
+            "wallclock", "wallclock-smoke", "serve-smoke", "cluster-smoke",
+            "telemetry-smoke", "calib-smoke", "tune-smoke", "full",
         }
 
 
